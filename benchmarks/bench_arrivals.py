@@ -1,0 +1,62 @@
+"""E18 — arrival patterns: when the master itself receives work over time.
+
+Extension experiment: the paper assumes all n tasks sit at the master at
+t=0; volunteer masters receive batches (result uploads, nightly drops).
+This harness feeds the same 24 tasks under four release patterns and
+measures the makespan stretch relative to the all-at-zero baseline.  Shape:
+all-at-zero is the floor; a steady drip at the platform's cadence costs
+little; a late burst is bounded below by its own release time.
+"""
+
+from repro.analysis.metrics import format_table
+from repro.analysis.steady_state import spider_steady_state
+from repro.core.feasibility import check
+from repro.platforms.presets import seti_like_spider
+from repro.sim.online import simulate_online
+
+from conftest import report
+
+N_TASKS = 24
+
+
+def _patterns(cadence: float) -> dict[str, list[int]]:
+    return {
+        "all at t=0": [0] * N_TASKS,
+        "steady drip (cadence)": [int(i * cadence) for i in range(N_TASKS)],
+        "two batches (half at t=20)": [0] * (N_TASKS // 2) + [20] * (N_TASKS // 2),
+        "late burst (all at t=30)": [30] * N_TASKS,
+    }
+
+
+def test_arrival_patterns(benchmark):
+    spider = seti_like_spider()
+    cadence = float(1 / spider_steady_state(spider).throughput)
+
+    def run_all():
+        results = {}
+        for label, arrivals in _patterns(cadence).items():
+            res = simulate_online(spider, N_TASKS, "bandwidth_centric", arrivals)
+            assert res.trace.tasks_completed() == N_TASKS
+            assert check(res.schedule) == []
+            results[label] = res.makespan
+        return results
+
+    results = benchmark(run_all)
+    baseline = results["all at t=0"]
+    assert all(mk >= baseline for mk in results.values())
+    assert results["late burst (all at t=30)"] >= 30 + baseline * 0.5
+    # a drip at the platform's own cadence should cost < 2x
+    assert results["steady drip (cadence)"] <= 2.2 * baseline
+
+    rows = [
+        (label, mk, f"x{mk / baseline:.2f}")
+        for label, mk in sorted(results.items(), key=lambda kv: kv[1])
+    ]
+    report(
+        f"E18  arrival patterns on the SETI-like spider (n={N_TASKS}, "
+        "bandwidth-centric policy)",
+        format_table(["release pattern", "makespan", "vs all-at-0"], rows)
+        + f"\nplatform cadence 1/throughput* = {cadence:.2f}"
+        "\nshape: all-at-zero is the floor; matching the drip to the cadence "
+        "keeps the port busy and costs little; late work is simply late",
+    )

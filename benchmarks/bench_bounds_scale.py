@@ -1,0 +1,102 @@
+"""E17 — certified near-optimality at scales brute force cannot reach.
+
+Exhaustive validation (E3/E5) stops near n=8.  The analytic lower bounds of
+:mod:`repro.analysis.bounds` hold for any n, so this harness sandwiches the
+algorithms at n up to 2000: ``lower bound <= makespan <= (1+ε)·lower bound``
+— a certificate that optimality does not silently degrade at scale.  The
+staircase profile additionally shows the marginal cost of one extra task
+converging to the steady-state cadence ``1/throughput*``.
+"""
+
+from repro.analysis.bounds import makespan_lower_bound
+from repro.analysis.metrics import format_table
+from repro.analysis.profiles import makespan_profile
+from repro.analysis.steady_state import chain_steady_state, spider_steady_state
+from repro.core.chain import chain_makespan
+from repro.core.spider import spider_makespan
+from repro.platforms.generators import random_chain, random_spider
+from repro.platforms.presets import paper_fig2_chain, paper_fig5_spider
+
+from conftest import report
+
+N_SERIES = [50, 200, 800, 2000]
+
+
+def test_chain_sandwich_at_scale(benchmark):
+    def sweep():
+        rows = []
+        for seed in range(4):
+            chain = random_chain(5, seed=seed)
+            for n in N_SERIES:
+                mk = chain_makespan(chain, n)
+                lb = makespan_lower_bound(chain, n)
+                ratio = float(mk) / lb
+                assert lb <= mk + 1e-9
+                assert ratio <= 1.25, f"seed {seed}, n={n}: ratio {ratio}"
+                rows.append((seed, n, mk, f"{lb:.1f}", f"{ratio:.4f}"))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    tail = [float(r[4]) for r in rows if r[1] == N_SERIES[-1]]
+    assert max(tail) <= 1.05, "at n=2000 the sandwich must be tight"
+    report(
+        "E17a  optimal-vs-lower-bound sandwich on chains (n up to 2000)",
+        format_table(["seed", "n", "makespan", "lower bound", "ratio"], rows)
+        + "\nshape: ratio -> 1 as n grows; optimality certified at scales "
+        "exhaustive search cannot reach",
+    )
+
+
+def test_spider_sandwich_at_scale(benchmark):
+    def sweep():
+        rows = []
+        for seed in range(3):
+            spider = random_spider(3, 2, seed=seed)
+            for n in (50, 200, 500):
+                mk = spider_makespan(spider, n)
+                lb = makespan_lower_bound(spider, n)
+                ratio = float(mk) / lb
+                assert lb <= mk + 1e-9
+                rows.append((seed, n, mk, f"{lb:.1f}", f"{ratio:.4f}"))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    tail = [float(r[4]) for r in rows if r[1] == 500]
+    assert max(tail) <= 1.1
+    report(
+        "E17b  optimal-vs-lower-bound sandwich on spiders (n up to 500)",
+        format_table(["seed", "n", "makespan", "lower bound", "ratio"], rows),
+    )
+
+
+def test_marginal_cost_converges_to_cadence(benchmark):
+    def sweep():
+        out = {}
+        chain = paper_fig2_chain()
+        profile = makespan_profile(chain, 30)
+        out["fig2 chain"] = (
+            profile.marginal_costs()[-1],
+            1 / chain_steady_state(chain).throughput,
+        )
+        spider = paper_fig5_spider()
+        sp_profile = makespan_profile(spider, 25)
+        out["fig5 spider"] = (
+            sp_profile.marginal_costs()[-1],
+            1 / spider_steady_state(spider).throughput,
+        )
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for name, (marginal, cadence) in out.items():
+        # the saturated tail can never pay less than the cadence by more
+        # than rounding, nor more than twice it
+        assert float(cadence) - 1e-9 <= float(marginal) <= 2 * float(cadence)
+        rows.append((name, marginal, str(cadence)))
+    # the chain's tail marginal cost must equal its cadence exactly
+    chain_marginal, chain_cadence = out["fig2 chain"]
+    assert float(chain_marginal) == float(chain_cadence)
+    report(
+        "E17c  marginal cost of one extra task -> steady-state cadence",
+        format_table(["platform", "tail marginal cost", "1/throughput*"], rows),
+    )

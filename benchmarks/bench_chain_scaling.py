@@ -1,0 +1,53 @@
+"""E4 — Theorem 1's complexity claim: the chain algorithm is O(n·p²).
+
+Regenerates: two scaling series (operation counts vs n at fixed p, and vs p
+at fixed n) with fitted log-log exponents.  The paper predicts slopes of 1
+and 2 respectively; operation counts are deterministic so the fit is exact
+for homogeneous chains.
+"""
+
+from repro.analysis.complexity import chain_opcount_in_n, chain_opcount_in_p
+from repro.analysis.metrics import format_table
+from repro.core.chain import schedule_chain
+from repro.platforms.chain import Chain
+from repro.platforms.generators import random_chain
+
+from conftest import report
+
+N_VALUES = [64, 128, 256, 512, 1024, 2048]
+P_VALUES = [2, 4, 8, 16, 32, 64, 128]
+FIXED_P = 16
+FIXED_N = 64
+
+
+def test_opcount_scaling_in_n(benchmark):
+    chain = random_chain(FIXED_P, seed=11)
+    counts, fit = benchmark(chain_opcount_in_n, chain, N_VALUES)
+    assert 0.95 <= fit.exponent <= 1.05, f"expected ~linear in n, got {fit}"
+    rows = list(zip(N_VALUES, counts))
+    report(
+        f"E4a  ops vs n (p={FIXED_P} fixed) — paper predicts slope 1",
+        format_table(["n", "vector-element ops"], rows) + f"\nfit: {fit}",
+    )
+
+
+def test_opcount_scaling_in_p(benchmark):
+    counts, fit = benchmark(
+        chain_opcount_in_p,
+        lambda p: random_chain(p, seed=13),
+        P_VALUES,
+        FIXED_N,
+    )
+    assert 1.8 <= fit.exponent <= 2.2, f"expected ~quadratic in p, got {fit}"
+    rows = list(zip(P_VALUES, counts))
+    report(
+        f"E4b  ops vs p (n={FIXED_N} fixed) — paper predicts slope 2",
+        format_table(["p", "vector-element ops"], rows) + f"\nfit: {fit}",
+    )
+
+
+def test_wallclock_large_instance(benchmark):
+    """Wall-clock datum for the largest sweep point (n=2048, p=32)."""
+    chain = Chain.homogeneous(32, 2, 3)
+    schedule = benchmark(schedule_chain, chain, 2048)
+    assert schedule.n_tasks == 2048

@@ -1,0 +1,88 @@
+"""E10 — divisible-load (fluid) bounds vs the quantum optimum (refs [5][6][10]).
+
+Regenerates: the quantum-vs-fluid gap series on chains (gap must be
+non-negative and shrink with n) and the closed-form star solution's
+simultaneous-completion property.
+"""
+
+import math
+
+from repro.analysis.metrics import format_table
+from repro.baselines.divisible import chain_fluid_bound, star_closed_form
+from repro.core.chain import chain_makespan
+from repro.platforms.generators import random_chain
+from repro.platforms.presets import paper_fig2_chain
+
+from conftest import report
+
+N_SERIES = [2, 8, 32, 128, 512]
+
+
+def _gap_series(chain, ns):
+    rows = []
+    for n in ns:
+        quantum = chain_makespan(chain, n)
+        fluid = chain_fluid_bound(chain, n).finish_time
+        assert fluid <= float(quantum) + 1e-9, "fluid bound exceeded quantum optimum"
+        rows.append((n, quantum, f"{fluid:.2f}", f"{(quantum - fluid) / fluid:.4f}"))
+    return rows
+
+
+def test_fluid_gap_on_fig2_chain(benchmark):
+    chain = paper_fig2_chain()
+    rows = benchmark(_gap_series, chain, N_SERIES)
+    rel_gaps = [float(r[3]) for r in rows]
+    assert rel_gaps[-1] < rel_gaps[0]
+    assert rel_gaps[-1] < 0.2
+    report(
+        "E10a  quantum optimum vs fluid (DLT) lower bound — fig2 chain",
+        format_table(["n", "quantum", "fluid bound", "relative gap"], rows)
+        + "\nshape: gap -> 0 as n grows (quantisation is O(1) time units)",
+    )
+
+
+def test_fluid_gap_on_random_chains(benchmark):
+    def sweep():
+        out = []
+        for seed in range(6):
+            chain = random_chain(4, seed=seed)
+            n = 64
+            quantum = chain_makespan(chain, n)
+            fluid = chain_fluid_bound(chain, n).finish_time
+            assert fluid <= float(quantum) + 1e-9
+            out.append((seed, quantum, f"{fluid:.2f}", f"{(quantum - fluid) / fluid:.4f}"))
+        return out
+
+    rows = benchmark(sweep)
+    report(
+        "E10b  quantum vs fluid on random chains (n=64)",
+        format_table(["seed", "quantum", "fluid bound", "relative gap"], rows),
+    )
+
+
+def test_star_closed_form_properties(benchmark):
+    from repro.platforms.star import Star
+
+    star = Star([(1, 4), (2, 3), (1, 6), (3, 2)])
+    sol = benchmark(star_closed_form, star, 100.0)
+    assert math.isclose(sol.total, 100.0, rel_tol=1e-9)
+    # simultaneous completion: recompute finish per child
+    order = sorted(
+        range(star.arity), key=lambda i: (star.children[i].c, star.children[i].w)
+    )
+    comm = 0.0
+    for i in order:
+        comm += sol.fractions[i] * star.children[i].c
+        finish = comm + sol.fractions[i] * star.children[i].w
+        assert math.isclose(finish, sol.finish_time, rel_tol=1e-9)
+    report(
+        "E10c  DLT star closed form (refs [5][10])",
+        format_table(
+            ["child", "c", "w", "fraction"],
+            [
+                (i + 1, star.children[i].c, star.children[i].w, f"{sol.fractions[i]:.3f}")
+                for i in range(star.arity)
+            ],
+        )
+        + f"\nfinish time: {sol.finish_time:.3f} (simultaneous for all children)",
+    )

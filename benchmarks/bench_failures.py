@@ -1,0 +1,63 @@
+"""E15 — robustness: volunteer churn (fail-stop workers) on the simulator.
+
+Extension experiment: the paper's model assumes reliable workers; volunteer
+platforms are not.  This harness measures how the online makespan degrades
+as hosts die mid-run and how many tasks need reissuing — and checks the
+exclusivity rules hold through every failure/reissue path.
+"""
+
+from repro.analysis.metrics import format_table
+from repro.platforms.presets import seti_like_spider
+from repro.sim.faults import WorkerFailure, assert_trace_exclusive, simulate_with_failures
+
+from conftest import report
+
+N_TASKS = 25
+
+SCENARIOS = {
+    "no failures": [],
+    "one slow host dies": [WorkerFailure(6, (4, 1))],
+    "a cluster node dies": [WorkerFailure(6, (1, 2))],
+    "rolling churn (3 hosts)": [
+        WorkerFailure(4, (3, 1)),
+        WorkerFailure(9, (5, 1)),
+        WorkerFailure(14, (6, 1)),
+    ],
+}
+
+
+def test_failure_scenarios(benchmark):
+    spider = seti_like_spider()
+
+    def run_all():
+        results = {}
+        for label, failures in SCENARIOS.items():
+            res = simulate_with_failures(spider, N_TASKS, failures)
+            assert res.completed == N_TASKS
+            assert_trace_exclusive(res.trace)
+            results[label] = res
+        return results
+
+    results = benchmark(run_all)
+    clean = results["no failures"].makespan
+    rows = []
+    for label, res in results.items():
+        rows.append(
+            (label, res.makespan, f"x{res.makespan / clean:.2f}",
+             res.attempts, res.reissues, len(res.survivors))
+        )
+    # losing a *fast* cluster node must hurt; churn must force reissues
+    assert results["a cluster node dies"].makespan >= clean
+    assert results["rolling churn (3 hosts)"].reissues >= 1
+    report(
+        f"E15  failure injection on the SETI-like spider (n={N_TASKS})",
+        format_table(
+            ["scenario", "makespan", "vs clean", "dispatches", "reissues", "survivors"],
+            rows,
+        )
+        + "\nshape: losing fast capacity stretches the makespan and forces "
+        "reissues; the trace stays exclusivity-clean through every path."
+        "\nfinding: losing a *slow* volunteer can *shorten* the naive "
+        "demand-driven makespan — the policy stops feeding the straggler "
+        "(an argument for the paper's bandwidth-aware allocation).",
+    )

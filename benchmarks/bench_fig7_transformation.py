@@ -1,0 +1,47 @@
+"""E2 — reproduce Fig. 7: the chain → fork-graph transformation.
+
+Regenerates: the five single-task fork nodes built from the Fig. 2 chain
+schedule at ``Tlim = 14`` — processing times {3, 6, 8, 10, 12}, all incoming
+links ``c₁ = 2``, with the W=8 node corresponding to the task executed on
+processor 2 (as the paper's text calls out).
+"""
+
+from repro.analysis.metrics import format_table
+from repro.core.spider import spider_schedule_deadline
+from repro.platforms.presets import (
+    PAPER_FIG2_MAKESPAN,
+    PAPER_FIG7_LINK,
+    PAPER_FIG7_NODE_TIMES,
+    paper_fig2_chain,
+)
+from repro.platforms.spider import Spider
+
+from conftest import report
+
+
+def test_fig7_fork_nodes(benchmark):
+    spider = Spider([paper_fig2_chain()])
+    result = benchmark(spider_schedule_deadline, spider, PAPER_FIG2_MAKESPAN)
+
+    works = sorted(node.work for node in result.fork_nodes)
+    links = {node.c for node in result.fork_nodes}
+    assert tuple(works) == PAPER_FIG7_NODE_TIMES
+    assert links == {PAPER_FIG7_LINK}
+
+    # the W=8 node is the processor-2 task (paper §7's worked sentence)
+    node8 = next(n for n in result.fork_nodes if n.work == 8)
+    leg_sched = result.leg_schedules[node8.tag[0]]
+    assert leg_sched[node8.tag[1]].processor == 2
+
+    # all five nodes are accepted at Tlim=14 and the spider schedule matches
+    assert result.n_tasks == 5
+
+    rows = [
+        (n.tag[1], n.c, n.work, f"{PAPER_FIG2_MAKESPAN} - C1 - c1")
+        for n in sorted(result.fork_nodes, key=lambda n: n.work)
+    ]
+    report(
+        "E2  Fig. 7 — chain→fork transformation at Tlim=14",
+        format_table(["leg task", "link c", "node W", "definition"], rows)
+        + f"\npaper node multiset: {list(PAPER_FIG7_NODE_TIMES)}   measured: {works}",
+    )

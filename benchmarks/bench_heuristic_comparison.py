@@ -1,0 +1,76 @@
+"""E7 — what the backward optimal algorithm buys over forward heuristics.
+
+Regenerates: the makespan-ratio table (heuristic / optimal) per platform
+family and heterogeneity profile — the comparison the paper's introduction
+motivates but leaves to the reader.  Shape requirements: every ratio >= 1,
+the myopic heuristics land strictly above 1 somewhere, and heterogeneous
+(volunteer) platforms show the largest spread.
+"""
+
+import random
+import statistics
+
+from repro.analysis.metrics import format_table
+from repro.baselines.heuristics import ALL_HEURISTICS
+from repro.core.chain import chain_makespan
+from repro.core.spider import spider_makespan
+from repro.platforms.generators import random_chain, random_spider
+
+from conftest import report
+
+TRIALS = 12
+N_TASKS = 12
+
+
+def _ratios(make_platform, optimal, seed: int) -> dict[str, list[float]]:
+    rng = random.Random(seed)
+    out: dict[str, list[float]] = {name: [] for name in ALL_HEURISTICS}
+    for _ in range(TRIALS):
+        platform = make_platform(rng)
+        opt = optimal(platform, N_TASKS)
+        for name, heuristic in ALL_HEURISTICS.items():
+            mk = heuristic(platform, N_TASKS).makespan
+            assert mk >= opt, f"{name} beat the optimal algorithm!"
+            out[name].append(mk / opt)
+    return out
+
+
+def test_heuristics_on_chains(benchmark):
+    ratios = benchmark(
+        _ratios,
+        lambda rng: random_chain(rng.randint(2, 5), profile="balanced", rng=rng),
+        chain_makespan,
+        71,
+    )
+    rows = [
+        (name, f"{statistics.mean(r):.3f}", f"{max(r):.3f}")
+        for name, r in sorted(ratios.items())
+    ]
+    assert all(min(r) >= 1.0 for r in ratios.values())
+    assert any(statistics.mean(r) > 1.01 for r in ratios.values())
+    report(
+        f"E7a  heuristic/optimal makespan ratios — random chains (n={N_TASKS})",
+        format_table(["heuristic", "mean ratio", "worst ratio"], rows),
+    )
+
+
+def test_heuristics_on_volunteer_spiders(benchmark):
+    ratios = benchmark(
+        _ratios,
+        lambda rng: random_spider(rng.randint(2, 4), 2, profile="volunteer", rng=rng),
+        spider_makespan,
+        72,
+    )
+    rows = [
+        (name, f"{statistics.mean(r):.3f}", f"{max(r):.3f}")
+        for name, r in sorted(ratios.items())
+    ]
+    # round robin must suffer on heterogeneous volunteer platforms
+    assert statistics.mean(ratios["round_robin"]) > statistics.mean(
+        ratios["greedy_makespan"]
+    )
+    report(
+        f"E7b  heuristic/optimal ratios — volunteer spiders (n={N_TASKS})",
+        format_table(["heuristic", "mean ratio", "worst ratio"], rows)
+        + "\nshape: speed-blind strategies degrade most on heterogeneous platforms",
+    )

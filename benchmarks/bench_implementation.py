@@ -1,0 +1,51 @@
+"""E14 — implementation study: reference O(n·p²) vs accelerated O(n·p).
+
+Not a paper experiment but a reproduction deliverable: the closed-form
+candidate evaluation (DESIGN.md / chain_fast.py) must produce *identical*
+schedules while scaling a full power of p better.  The table regenerates the
+speedup series; the equivalence is asserted on every point.
+"""
+
+from repro.analysis.complexity import fit_power_law, timed
+from repro.analysis.metrics import format_table
+from repro.core.chain import schedule_chain
+from repro.core.chain_fast import schedule_chain_fast
+from repro.platforms.generators import random_chain
+
+from conftest import report
+
+P_VALUES = [8, 16, 32, 64]
+N_TASKS = 200
+
+
+def test_fast_path_speedup(benchmark):
+    def sweep():
+        rows = []
+        fast_times = []
+        for p in P_VALUES:
+            chain = random_chain(p, seed=p)
+            ref = schedule_chain(chain, N_TASKS)
+            fast = schedule_chain_fast(chain, N_TASKS)
+            assert ref.to_dict() == fast.to_dict(), "fast path diverged!"
+            t_ref = timed(lambda: schedule_chain(chain, N_TASKS), 2)
+            t_fast = timed(lambda: schedule_chain_fast(chain, N_TASKS), 2)
+            fast_times.append(t_fast)
+            rows.append((p, f"{t_ref:.4f}", f"{t_fast:.4f}", f"x{t_ref / t_fast:.1f}"))
+        return rows, fast_times
+
+    rows, fast_times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    fit = fit_power_law(P_VALUES, fast_times)
+    assert float(rows[-1][3][1:]) > 1.5, "fast path must win clearly at p=64"
+    assert fit.exponent < 1.7, f"fast path should be ~linear in p, got {fit}"
+    report(
+        f"E14  reference vs accelerated chain scheduler (n={N_TASKS})",
+        format_table(["p", "reference s", "fast s", "speedup"], rows)
+        + f"\nfast-path scaling in p: {fit} (reference is ~quadratic)",
+    )
+
+
+def test_fast_scheduler_throughput(benchmark):
+    """Raw datum: the accelerated scheduler on a big instance."""
+    chain = random_chain(64, seed=1)
+    schedule = benchmark(schedule_chain_fast, chain, 1000)
+    assert schedule.n_tasks == 1000

@@ -1,0 +1,78 @@
+"""E6 — §4's structural lemmas, measured over randomized instances.
+
+Regenerates: (a) Lemma 1 (candidate vectors never cross) checked over a
+randomized hull/occupancy population; (b) Lemma 2's suffix property over a
+deadline sweep.  Both must hold on 100% of instances.
+"""
+
+import random
+
+from repro.analysis.metrics import format_table
+from repro.core.chain import _BackwardState, schedule_chain_deadline
+from repro.core.commvector import CommVector
+from repro.platforms.generators import random_chain
+
+from conftest import report
+
+
+def _lemma1_trials(seed: int, trials: int = 200) -> tuple[int, int]:
+    rng = random.Random(seed)
+    ok = 0
+    for _ in range(trials):
+        chain = random_chain(rng.randint(2, 6), rng=rng)
+        state = _BackwardState(chain, rng.randint(5, 40))
+        for _ in range(rng.randint(0, 4)):  # diversify the hull
+            best = state.best_candidate(None)
+            if best[0] < 0:
+                break
+            state.commit(best)
+        cands = {k: state.candidate(k, None) for k in range(1, chain.p + 1)}
+        good = True
+        for k, a in cands.items():
+            for l, b in cands.items():
+                if k == l or not CommVector(a).precedes(CommVector(b)):
+                    continue
+                for q in range(1, min(k, l) + 1):
+                    if CommVector(b[q - 1:]).precedes(CommVector(a[q - 1:])):
+                        good = False
+        ok += good
+    return trials, ok
+
+
+def _lemma2_trials(seed: int, trials: int = 200) -> tuple[int, int]:
+    rng = random.Random(seed)
+    ok = 0
+    for _ in range(trials):
+        chain = random_chain(rng.randint(1, 5), rng=rng)
+        t_lim = rng.randint(1, 30)
+        full = schedule_chain_deadline(chain, t_lim)
+        if full.n_tasks < 2:
+            ok += 1
+            continue
+        k = rng.randint(1, full.n_tasks - 1)
+        part = schedule_chain_deadline(chain, t_lim, n=k)
+        offset = full.n_tasks - k
+        ok += all(
+            part[i].comms.times == full[offset + i].comms.times
+            and part[i].start == full[offset + i].start
+            for i in range(1, k + 1)
+        )
+    return trials, ok
+
+
+def test_lemma_1_no_crossing(benchmark):
+    trials, ok = benchmark(_lemma1_trials, 61)
+    assert ok == trials
+    report(
+        "E6a  Lemma 1 — candidate communication vectors never cross",
+        format_table(["instances", "holds"], [(trials, ok)]),
+    )
+
+
+def test_lemma_2_suffix_property(benchmark):
+    trials, ok = benchmark(_lemma2_trials, 62)
+    assert ok == trials
+    report(
+        "E6b  Lemma 2 — k-task deadline run = suffix of the full run",
+        format_table(["instances", "holds"], [(trials, ok)]),
+    )

@@ -1,0 +1,49 @@
+"""E16 — constructive steady state: periodic schedules hit the throughput.
+
+Extension experiment: the bandwidth-centric throughput numbers of E9 are
+*achievable*, not just bounds — the periodic construction unrolls to fully
+feasible schedules whose rate converges to the exact rational throughput.
+"""
+
+from repro.analysis.metrics import format_table
+from repro.analysis.periodic import (
+    achieved_rate,
+    periodic_star_schedule,
+    star_periodic_pattern,
+)
+from repro.analysis.steady_state import star_steady_state
+from repro.core.feasibility import check
+from repro.platforms.star import Star
+
+from conftest import report
+
+STAR = Star([(1, 4), (2, 3), (1, 6), (3, 2)])
+PERIOD_COUNTS = [1, 2, 4, 8, 16]
+
+
+def test_periodic_construction_converges(benchmark):
+    pattern = star_periodic_pattern(STAR)
+    throughput = star_steady_state(STAR).throughput
+    assert pattern.rate == throughput
+
+    def sweep():
+        rows = []
+        for k in PERIOD_COUNTS:
+            schedule = periodic_star_schedule(STAR, k)
+            assert check(schedule) == []
+            rate = achieved_rate(schedule)
+            assert rate <= float(throughput) + 1e-9
+            rows.append((k, schedule.n_tasks, schedule.makespan, f"{rate:.4f}"))
+        return rows
+
+    rows = benchmark(sweep)
+    rates = [float(r[3]) for r in rows]
+    assert rates[-1] >= rates[0]
+    assert rates[-1] >= 0.95 * float(throughput)
+    report(
+        "E16  periodic steady-state construction (star, exact rationals)",
+        format_table(["periods", "tasks", "makespan", "rate"], rows)
+        + f"\npattern: period {pattern.period}, per-child {pattern.per_child}; "
+        f"throughput* = {throughput} = {float(throughput):.4f}"
+        "\nshape: feasible at every horizon, rate -> throughput*",
+    )

@@ -1,0 +1,56 @@
+"""E13 — online operation vs the paper's offline optimum, on the simulator.
+
+Regenerates: the online-policy comparison on the SETI-like volunteer spider
+(the application class that motivates the paper's §1).  Shape requirements:
+every policy is feasible, none beats the offline optimal schedule, and the
+bandwidth-centric policy dominates the speed-blind ones.
+"""
+
+from repro.analysis.metrics import format_table
+from repro.core.feasibility import check
+from repro.core.spider import spider_schedule
+from repro.platforms.presets import seti_like_spider
+from repro.sim.executor import verify_by_execution
+from repro.sim.online import ONLINE_POLICIES, simulate_online
+
+from conftest import report
+
+N_TASKS = 30
+
+
+def test_online_policies_vs_offline_optimal(benchmark):
+    spider = seti_like_spider()
+
+    def run_all():
+        results = {}
+        for policy in sorted(ONLINE_POLICIES):
+            res = simulate_online(spider, N_TASKS, policy)
+            assert res.trace.tasks_completed() == N_TASKS
+            assert check(res.schedule) == []
+            results[policy] = res.makespan
+        return results
+
+    results = benchmark(run_all)
+    optimal = spider_schedule(spider, N_TASKS)
+    verify_by_execution(optimal)
+    opt = optimal.makespan
+
+    assert all(mk >= opt for mk in results.values())
+    assert results["bandwidth_centric"] <= results["round_robin"]
+
+    rows = [("offline optimal (paper)", opt, "x1.000")]
+    for policy, mk in sorted(results.items(), key=lambda kv: kv[1]):
+        rows.append((policy, mk, f"x{mk / opt:.3f}"))
+    report(
+        f"E13  online policies vs offline optimum — SETI-like spider, n={N_TASKS}",
+        format_table(["strategy", "makespan", "ratio"], rows)
+        + "\nshape: offline optimal <= bandwidth-centric <= speed-blind policies",
+    )
+
+
+def test_executor_throughput(benchmark):
+    """DES replay speed on a large optimal schedule (datum for the harness)."""
+    spider = seti_like_spider()
+    schedule = spider_schedule(spider, 120)
+    trace = benchmark(verify_by_execution, schedule)
+    assert trace.tasks_completed() == 120

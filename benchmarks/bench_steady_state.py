@@ -1,0 +1,82 @@
+"""E9 — convergence to the bandwidth-centric steady state (ref [2], §1).
+
+Regenerates: the series ``n / makespan(n)`` for growing ``n`` on a chain, a
+star and a spider, against the closed-form optimal throughput.  Shape: the
+rate is always below the bound and converges to it (gap ~ O(1/n)).
+"""
+
+from fractions import Fraction
+
+from repro.analysis.metrics import format_table
+from repro.analysis.steady_state import (
+    chain_steady_state,
+    spider_steady_state,
+    star_steady_state,
+)
+from repro.core.chain import chain_makespan
+from repro.core.fork import fork_schedule
+from repro.core.spider import spider_makespan
+from repro.platforms.presets import paper_fig2_chain, paper_fig5_spider
+from repro.platforms.star import Star
+
+from conftest import report
+
+N_SERIES = [4, 16, 64, 256]
+
+
+def _series(makespan_fn, ns):
+    rates = []
+    for n in ns:
+        mk = makespan_fn(n)
+        rates.append(n / float(mk))
+    return rates
+
+
+def _check_and_rows(name, rates, bound, ns):
+    rows = []
+    for n, rate in zip(ns, rates):
+        assert rate <= float(bound) + 1e-9, f"{name}: rate exceeded the bound"
+        rows.append((name, n, f"{rate:.4f}", f"{float(bound):.4f}"))
+    # convergence: the last point is the closest to the bound
+    gaps = [float(bound) - r for r in rates]
+    assert gaps[-1] <= gaps[0] + 1e-12
+    assert gaps[-1] <= 0.25 * float(bound)
+    return rows
+
+
+def test_chain_rate_convergence(benchmark):
+    chain = paper_fig2_chain()
+    bound = chain_steady_state(chain).throughput
+    rates = benchmark(_series, lambda n: chain_makespan(chain, n), N_SERIES)
+    rows = _check_and_rows("fig2 chain", rates, bound, N_SERIES)
+    report(
+        "E9a  n/makespan -> steady-state throughput (chain)",
+        format_table(["platform", "n", "rate", "throughput*"], rows),
+    )
+
+
+def test_star_rate_convergence(benchmark):
+    star = Star([(1, 4), (2, 3), (1, 6)])
+    bound = star_steady_state(star).throughput
+    rates = benchmark(
+        _series, lambda n: fork_schedule(star, n).makespan, N_SERIES
+    )
+    rows = _check_and_rows("star", rates, bound, N_SERIES)
+    report(
+        "E9b  n/makespan -> steady-state throughput (star)",
+        format_table(["platform", "n", "rate", "throughput*"], rows),
+    )
+
+
+def test_spider_rate_convergence(benchmark):
+    spider = paper_fig5_spider()
+    bound = spider_steady_state(spider).throughput
+    ns = [4, 16, 64, 128]
+    rates = benchmark(_series, lambda n: spider_makespan(spider, n), ns)
+    rows = _check_and_rows("fig5 spider", rates, bound, ns)
+    report(
+        "E9c  n/makespan -> steady-state throughput (spider)",
+        format_table(["platform", "n", "rate", "throughput*"], rows)
+        + f"\nthroughput* = {spider_steady_state(spider).throughput} "
+        f"(bandwidth-centric, exact rational)",
+    )

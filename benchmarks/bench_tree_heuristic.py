@@ -1,0 +1,83 @@
+"""E12 — the paper's future work (§8): general trees via spider covers.
+
+Regenerates: the cover-efficiency table — how much of a random tree's
+bandwidth-centric capacity a single spider cover captures — plus the
+cover-scoring ablation (throughput-scored vs depth-scored covers).
+"""
+
+import random
+
+from repro.analysis.metrics import format_table
+from repro.analysis.steady_state import tree_steady_state
+from repro.core.feasibility import check
+from repro.platforms.generators import random_tree
+from repro.trees.heuristic import (
+    best_path_cover,
+    cover_efficiency,
+    greedy_depth_cover,
+    tree_schedule_by_cover,
+)
+
+from conftest import report
+
+N_TASKS = 24
+TRIALS = 8
+
+
+def test_cover_efficiency_table(benchmark):
+    def sweep():
+        rng = random.Random(121)
+        rows = []
+        for trial in range(TRIALS):
+            tree = random_tree(rng.randint(4, 9), rng=rng)
+            schedule = tree_schedule_by_cover(tree, N_TASKS)
+            assert check(schedule) == []
+            eff = cover_efficiency(tree, N_TASKS, schedule.makespan)
+            assert 0 < eff <= 1.05
+            rows.append(
+                (
+                    trial,
+                    tree.p,
+                    schedule.makespan,
+                    f"{float(tree_steady_state(tree).throughput):.3f}",
+                    f"{eff:.3f}",
+                )
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    report(
+        f"E12a  spider-cover heuristic on random trees (n={N_TASKS})",
+        format_table(
+            ["trial", "workers", "makespan", "tree throughput*", "cover efficiency"],
+            rows,
+        )
+        + "\nshape: efficiency <= 1 (steady-state bound), typically high when "
+        "the tree is close to a spider",
+    )
+
+
+def test_cover_scoring_ablation(benchmark):
+    def sweep():
+        rng = random.Random(122)
+        best_wins, ties, total = 0, 0, 0
+        for _ in range(TRIALS):
+            tree = random_tree(rng.randint(5, 9), rng=rng)
+            mk_best = tree_schedule_by_cover(tree, N_TASKS, best_path_cover(tree)).makespan
+            mk_deep = tree_schedule_by_cover(tree, N_TASKS, greedy_depth_cover(tree)).makespan
+            total += 1
+            if mk_best < mk_deep:
+                best_wins += 1
+            elif mk_best == mk_deep:
+                ties += 1
+        return best_wins, ties, total
+
+    best_wins, ties, total = benchmark(sweep)
+    assert best_wins + ties >= total - 1  # throughput scoring ~never loses
+    report(
+        "E12b  ablation — throughput-scored vs depth-scored covers",
+        format_table(
+            ["instances", "throughput-cover wins", "ties"],
+            [(total, best_wins, ties)],
+        ),
+    )

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Volunteer churn: what happens when hosts die mid-run?
+
+The paper's model assumes reliable workers; real volunteer platforms
+(SETI@home, §1) lose hosts constantly.  This example injects fail-stop
+failures into the online simulation and measures the damage: makespan
+stretch, reissued tasks, and — a counter-intuitive finding — that losing a
+*slow* straggler can actually *help* a naive demand-driven master.
+
+Run:  python examples/churn_resilience.py
+"""
+
+from repro.analysis.metrics import format_table
+from repro.platforms.presets import seti_like_spider
+from repro.sim.faults import (
+    WorkerFailure,
+    assert_trace_exclusive,
+    simulate_with_failures,
+)
+
+N_TASKS = 30
+spider = seti_like_spider()
+print(f"platform: {spider.arity} legs, {spider.total_processors} hosts; "
+      f"{N_TASKS} tasks, demand-driven master\n")
+
+scenarios = {
+    "no failures": [],
+    "slow volunteer dies (t=6)": [WorkerFailure(6, (4, 1))],
+    "cluster node dies (t=6)": [WorkerFailure(6, (1, 2))],
+    "rolling churn, 3 hosts": [
+        WorkerFailure(4, (3, 1)),
+        WorkerFailure(9, (5, 1)),
+        WorkerFailure(14, (6, 1)),
+    ],
+}
+
+rows = []
+clean = None
+for label, failures in scenarios.items():
+    result = simulate_with_failures(spider, N_TASKS, failures)
+    assert_trace_exclusive(result.trace)   # exclusivity holds through churn
+    if clean is None:
+        clean = result.makespan
+    rows.append((
+        label,
+        result.makespan,
+        f"x{result.makespan / clean:.2f}",
+        result.attempts,
+        result.reissues,
+        len(result.survivors),
+    ))
+
+print(format_table(
+    ["scenario", "makespan", "vs clean", "dispatches", "reissues", "survivors"],
+    rows,
+))
+
+print("""
+notes:
+  * a dying node loses everything queued/executing there; the master
+    reissues lost tasks to survivors (watch the 'dispatches' column);
+  * killing a node mid-leg also strands everything *behind* it -- links
+    are the only way in (store-and-forward chains);
+  * losing a slow straggler can shorten the naive policy's makespan: the
+    demand-driven master stops feeding it.  The paper's bandwidth-aware
+    allocation avoids that trap without needing the failure.
+""")

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Deadline tradeoffs: the two dual views of master-slave scheduling.
+
+The paper solves the same problem from two sides: *minimum makespan for n
+tasks* (§3) and *maximum tasks within a deadline Tlim* (§7).  The two are
+inverse staircases, and their breakpoints answer practical questions:
+
+* "I have 20 time units — how much work can I push?"
+* "I need 8 more tasks done — how much deadline does that cost?"
+* "What does the marginal task cost once the platform is saturated?"
+
+This example materialises both staircases for the paper's Fig. 2 chain and
+for a spider, shows the marginal costs converging to the steady-state
+cadence, and sandwiches everything between the analytic lower bounds.
+
+Run:  python examples/deadline_tradeoffs.py
+"""
+
+from repro.analysis.bounds import makespan_lower_bound
+from repro.analysis.metrics import format_table
+from repro.analysis.profiles import makespan_profile, verify_staircase_duality
+from repro.analysis.steady_state import chain_steady_state, spider_steady_state
+from repro.core.chain import max_tasks_within
+from repro.platforms.presets import paper_fig2_chain, paper_fig5_spider
+
+chain = paper_fig2_chain()
+print(f"platform: the paper's Fig. 2 chain {chain}\n")
+
+# -- the makespan staircase --------------------------------------------------
+profile = makespan_profile(chain, 12)
+verify_staircase_duality(chain, 12)   # the two formulations invert exactly
+rows = [
+    (n, profile.makespan(n), cost)
+    for n, cost in zip(range(2, 13), profile.marginal_costs())
+]
+print("optimal makespan per task count, and what each extra task costs:")
+print(format_table(["n", "makespan(n)", "marginal cost of task n"],
+                   [(1, profile.makespan(1), "-")] + rows))
+cadence = 1 / chain_steady_state(chain).throughput
+print(f"\nsteady-state cadence 1/throughput* = {cadence} "
+      f"(the marginal cost converges to it)\n")
+
+# -- the dual view: tasks within a budget ---------------------------------------
+print("dual staircase — tasks completable within a time budget:")
+rows = [(t, max_tasks_within(chain, t)) for t in (5, 8, 11, 14, 20, 30)]
+print(format_table(["Tlim", "max tasks"], rows))
+
+# -- sandwich against the analytic bounds -----------------------------------------
+spider = paper_fig5_spider()
+print("\nlower-bound sandwich on the Fig. 5-style spider "
+      f"(throughput* = {spider_steady_state(spider).throughput}):")
+from repro.core.spider import spider_makespan
+
+rows = []
+for n in (10, 40, 160):
+    mk = spider_makespan(spider, n)
+    lb = makespan_lower_bound(spider, n)
+    rows.append((n, mk, f"{lb:.1f}", f"{float(mk) / lb:.3f}"))
+print(format_table(["n", "optimal makespan", "lower bound", "ratio"], rows))
+print("\nthe ratio → 1: the algorithm provably leaves nothing on the table "
+      "at scale, without needing exhaustive search to certify it.")

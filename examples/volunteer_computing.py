@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Volunteer computing: what does offline optimality buy over online serving?
+
+The paper's introduction motivates the model with SETI@home-style platforms:
+a master distributing identical work units over wildly heterogeneous links
+and hosts.  This example builds such a platform (a spider: a couple of lab
+clusters behind fast links plus a tail of slow home machines), computes the
+paper's optimal schedule, and then *simulates* three realistic online
+serving policies, comparing makespans and resource usage.
+
+Run:  python examples/volunteer_computing.py
+"""
+
+from repro.analysis.metrics import comparison_table, format_table
+from repro.analysis.steady_state import spider_steady_state
+from repro.core.feasibility import assert_feasible
+from repro.core.spider import spider_schedule
+from repro.platforms.presets import seti_like_spider
+from repro.sim.executor import verify_by_execution
+from repro.sim.online import ONLINE_POLICIES, simulate_online
+
+N_TASKS = 40
+
+spider = seti_like_spider()
+print(f"platform: {spider.arity} legs, {spider.total_processors} hosts")
+throughput = spider_steady_state(spider)
+print(f"steady-state capacity: {throughput.throughput} tasks/unit "
+      f"(= {float(throughput.throughput):.3f})\n")
+
+# -- offline optimum (the paper's algorithm) ------------------------------------
+optimal = spider_schedule(spider, N_TASKS)
+assert_feasible(optimal)
+trace = verify_by_execution(optimal)   # execute it on the simulated platform
+print(f"offline optimal makespan: {optimal.makespan} "
+      f"(simulated execution agrees: {trace.makespan})")
+
+# -- online policies --------------------------------------------------------------
+results = {"offline optimal (paper)": optimal.makespan}
+per_policy_util = {}
+for policy in sorted(ONLINE_POLICIES):
+    res = simulate_online(spider, N_TASKS, policy)
+    assert_feasible(res.schedule)
+    results[policy] = res.makespan
+    per_policy_util[policy] = res.trace.utilisation(("port", "master"))
+
+rows = comparison_table(results, "offline optimal (paper)")
+print()
+print(format_table(
+    ["strategy", "makespan", "vs optimal"],
+    [(r.label, r.makespan, f"x{r.ratio:.3f}") for r in rows],
+))
+
+print()
+print("master-port utilisation under each online policy:")
+for policy, util in sorted(per_policy_util.items()):
+    print(f"  {policy:<20} {util:.1%}")
+
+print(f"""
+reading the table:
+  * the offline optimum needs global knowledge and is the floor;
+  * 'bandwidth_centric' (serve cheap links first, never over-buffer)
+    tracks it closely -- this is the online rendition of the steady-state
+    rule the paper builds on;
+  * speed-blind policies (round robin) pay heavily on heterogeneous
+    volunteer platforms.
+""")

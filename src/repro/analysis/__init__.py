@@ -1,0 +1,76 @@
+"""Analysis toolkit: metrics, steady-state throughput, complexity fits."""
+
+from .metrics import (
+    ComparisonRow,
+    ScheduleMetrics,
+    comparison_table,
+    compute_metrics,
+    format_table,
+    optimality_ratio,
+    speedup_over_single,
+)
+from .steady_state import (
+    SteadyState,
+    chain_steady_state,
+    spider_steady_state,
+    star_steady_state,
+    tree_steady_state,
+)
+from .complexity import (
+    PowerFit,
+    chain_opcount_in_n,
+    chain_opcount_in_p,
+    fit_power_law,
+    timed,
+    wallclock_in_n,
+)
+from .periodic import (
+    PeriodicPattern,
+    achieved_rate,
+    periodic_star_schedule,
+    star_periodic_pattern,
+)
+from .bounds import (
+    makespan_lower_bound,
+    port_bound,
+    processor_bound,
+    route_bound,
+    steady_state_bound,
+)
+from .profiles import StaircaseProfile, makespan_profile, verify_staircase_duality
+from .report import ExperimentReport, build_report
+
+__all__ = [
+    "ComparisonRow",
+    "ScheduleMetrics",
+    "comparison_table",
+    "compute_metrics",
+    "format_table",
+    "optimality_ratio",
+    "speedup_over_single",
+    "SteadyState",
+    "chain_steady_state",
+    "spider_steady_state",
+    "star_steady_state",
+    "tree_steady_state",
+    "PowerFit",
+    "chain_opcount_in_n",
+    "chain_opcount_in_p",
+    "fit_power_law",
+    "timed",
+    "wallclock_in_n",
+    "PeriodicPattern",
+    "achieved_rate",
+    "periodic_star_schedule",
+    "star_periodic_pattern",
+    "makespan_lower_bound",
+    "port_bound",
+    "processor_bound",
+    "route_bound",
+    "steady_state_bound",
+    "StaircaseProfile",
+    "makespan_profile",
+    "verify_staircase_duality",
+    "ExperimentReport",
+    "build_report",
+]

@@ -1,0 +1,96 @@
+"""Cheap analytic makespan lower bounds — O(p) sanity rails for any scale.
+
+Exhaustive optimality checks stop at ~8 tasks; these bounds hold for *any*
+``n`` and cost O(p), so the test-suite and benchmarks can sandwich the
+algorithms at sizes brute force cannot reach::
+
+    lower_bound(platform, n)  <=  optimal makespan  <=  any heuristic
+
+Each bound is a necessary condition of the model:
+
+* **port bound** — the master emits ``n`` messages one at a time, the last
+  of which still needs the fastest possible "land-and-run" tail;
+* **processor bound** — some processor executes at least ``ceil(n/p)``
+  tasks, after its route latency;
+* **route bound** — even a single task needs its best route plus work;
+* **steady-state bound** — ``n`` tasks cannot beat ``n / throughput*``
+  (bandwidth-centric rate is an upper bound on the rate at any horizon
+  once the pipeline is full; we use the weaker, always-valid form
+  ``(n−1)/throughput*`` that ignores the fill/drain transients).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import ceil
+from typing import Any, Union
+
+from ..core.schedule import adapter_for
+from ..core.types import Time
+from ..platforms.chain import Chain
+from ..platforms.spider import Spider
+from ..platforms.star import Star
+from .steady_state import chain_steady_state, spider_steady_state, star_steady_state
+
+Platform = Union[Chain, Star, Spider]
+
+
+def port_bound(platform: Any, n: int) -> Time:
+    """Master-port serialisation: ``(n−1)·min c_first + min tail``."""
+    adapter = adapter_for(platform)
+    procs = adapter.processors()
+    first_links = {adapter.route(pr)[0] for pr in procs}
+    min_first = min(adapter.latency(l) for l in first_links)
+    min_tail = min(
+        sum(adapter.latency(l) for l in adapter.route(pr)) + adapter.work(pr)
+        for pr in procs
+    )
+    return (n - 1) * min_first + min_tail
+
+
+def processor_bound(platform: Any, n: int) -> Time:
+    """Pigeonhole on executions: the best way to split ``n`` tasks over the
+    processors still leaves some processor ``ceil(n/p)`` tasks of work."""
+    adapter = adapter_for(platform)
+    procs = adapter.processors()
+    k = ceil(n / len(procs))
+    return min(
+        sum(adapter.latency(l) for l in adapter.route(pr)) + k * adapter.work(pr)
+        for pr in procs
+    )
+
+
+def route_bound(platform: Any) -> Time:
+    """One task needs at least the cheapest route plus its work."""
+    adapter = adapter_for(platform)
+    return min(
+        sum(adapter.latency(l) for l in adapter.route(pr)) + adapter.work(pr)
+        for pr in adapter.processors()
+    )
+
+
+def steady_state_bound(platform: Platform, n: int) -> float:
+    """``(n−1) / throughput*`` — valid for every n (rate can only be reached
+    after the pipeline fills, and we forgive the transient entirely)."""
+    if isinstance(platform, Chain):
+        thr = chain_steady_state(platform).throughput
+    elif isinstance(platform, Star):
+        thr = star_steady_state(platform).throughput
+    elif isinstance(platform, Spider):
+        thr = spider_steady_state(platform).throughput
+    else:
+        raise TypeError(f"unsupported platform {type(platform).__name__}")
+    if thr == 0:
+        return 0.0
+    return float(Fraction(n - 1) / thr)
+
+
+def makespan_lower_bound(platform: Platform, n: int) -> float:
+    """The max of all applicable bounds (a certified lower bound)."""
+    bounds = [
+        float(port_bound(platform, n)),
+        float(processor_bound(platform, n)),
+        float(route_bound(platform)),
+        steady_state_bound(platform, n),
+    ]
+    return max(bounds)

@@ -1,0 +1,96 @@
+"""Empirical complexity measurement (Theorem 1: O(np²); Theorem 2: O(n²p²)).
+
+The paper's complexity claims are validated two ways:
+
+* **operation counts** — the chain algorithm is instrumented
+  (:class:`~repro.core.chain.ChainRunStats`); its dominant counter
+  (candidate-vector element computations) must scale as ``Θ(n·p²)``;
+* **wall clock** — timed sweeps fitted on a log-log scale.
+
+Exponent fitting is ordinary least squares on ``log y = a·log x + b``
+(numpy), returning the slope ``a`` and the fit's R².
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.chain import ChainRunStats, schedule_chain
+from ..platforms.chain import Chain
+
+
+@dataclass(frozen=True)
+class PowerFit:
+    """Result of fitting ``y ≈ C·x^exponent``."""
+
+    exponent: float
+    prefactor: float
+    r_squared: float
+
+    def __str__(self) -> str:
+        return f"y ≈ {self.prefactor:.3g}·x^{self.exponent:.3f} (R²={self.r_squared:.4f})"
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerFit:
+    """Least-squares fit of a power law through (xs, ys); needs >= 2 points
+    with positive coordinates."""
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    mask = (x > 0) & (y > 0)
+    x, y = np.log(x[mask]), np.log(y[mask])
+    if x.size < 2:
+        raise ValueError("need at least two positive samples to fit")
+    slope, intercept = np.polyfit(x, y, 1)
+    pred = slope * x + intercept
+    ss_res = float(np.sum((y - pred) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return PowerFit(float(slope), float(np.exp(intercept)), r2)
+
+
+def chain_opcount_in_n(
+    chain: Chain, n_values: Sequence[int]
+) -> tuple[list[int], PowerFit]:
+    """Operation counts of the chain algorithm as ``n`` grows (fixed p).
+    Theorem 1 predicts slope ≈ 1."""
+    counts = []
+    for n in n_values:
+        stats = ChainRunStats()
+        schedule_chain(chain, n, stats=stats)
+        counts.append(stats.vector_elements)
+    return counts, fit_power_law(list(n_values), counts)
+
+
+def chain_opcount_in_p(
+    make_chain: Callable[[int], Chain], p_values: Sequence[int], n: int
+) -> tuple[list[int], PowerFit]:
+    """Operation counts as ``p`` grows (fixed n).  Theorem 1 predicts
+    slope ≈ 2 (each task evaluates p candidate vectors of mean length p/2)."""
+    counts = []
+    for p in p_values:
+        stats = ChainRunStats()
+        schedule_chain(make_chain(p), n, stats=stats)
+        counts.append(stats.vector_elements)
+    return counts, fit_power_law(list(p_values), counts)
+
+
+def timed(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall time of ``fn`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def wallclock_in_n(
+    chain: Chain, n_values: Sequence[int], repeats: int = 3
+) -> tuple[list[float], PowerFit]:
+    """Wall-clock sweep over n (fixed chain)."""
+    times = [timed(lambda n=n: schedule_chain(chain, n), repeats) for n in n_values]
+    return times, fit_power_law(list(n_values), times)

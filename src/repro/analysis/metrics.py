@@ -1,0 +1,123 @@
+"""Schedule metrics and comparison reports.
+
+Everything the experiment tables print comes from here: makespan,
+utilisation, idle analysis, optimality ratios, and formatted comparison
+rows.  Kept free of any plotting so it can run headless in benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Mapping, Sequence
+
+from ..core.schedule import Schedule
+from ..core.types import Time
+
+
+@dataclass(frozen=True)
+class ScheduleMetrics:
+    """Summary statistics of one schedule."""
+
+    n_tasks: int
+    makespan: Time
+    #: per-processor busy fraction over the makespan
+    proc_utilisation: dict[Hashable, float]
+    #: per-send-port busy fraction over the makespan
+    port_utilisation: dict[Hashable, float]
+    #: number of tasks per processor
+    counts: dict[Hashable, int]
+    #: total buffered-wait time (arrival -> exec start) summed over tasks
+    buffer_wait: Time
+
+    @property
+    def mean_proc_utilisation(self) -> float:
+        if not self.proc_utilisation:
+            return 0.0
+        return sum(self.proc_utilisation.values()) / len(self.proc_utilisation)
+
+    @property
+    def bottleneck_port(self) -> Hashable | None:
+        if not self.port_utilisation:
+            return None
+        return max(self.port_utilisation, key=lambda k: self.port_utilisation[k])
+
+
+def compute_metrics(schedule: Schedule) -> ScheduleMetrics:
+    """Compute :class:`ScheduleMetrics` for any schedule."""
+    adapter = schedule.adapter
+    mk = schedule.makespan
+    denom = float(mk) if mk else 1.0
+
+    proc_util: dict[Hashable, float] = {}
+    for proc, ivs in schedule.processor_intervals().items():
+        proc_util[proc] = float(sum(e - s for s, e, _ in ivs)) / denom
+    port_util: dict[Hashable, float] = {}
+    for port, ivs in schedule.port_intervals().items():
+        port_util[port] = float(sum(e - s for s, e, _ in ivs)) / denom
+
+    wait: Time = 0
+    for a in schedule:
+        route = adapter.route(a.processor)
+        arrival = a.comms[len(route)] + adapter.latency(route[-1])
+        wait += a.start - arrival
+
+    return ScheduleMetrics(
+        n_tasks=schedule.n_tasks,
+        makespan=mk,
+        proc_utilisation=proc_util,
+        port_utilisation=port_util,
+        counts=schedule.task_counts(),
+        buffer_wait=wait,
+    )
+
+
+def optimality_ratio(candidate: Time, optimal: Time) -> float:
+    """``candidate / optimal`` (1.0 = optimal); guards the zero edge."""
+    if optimal == 0:
+        return 1.0 if candidate == 0 else float("inf")
+    return float(candidate) / float(optimal)
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One row of a makespan-comparison table."""
+
+    label: str
+    makespan: Time
+    ratio: float
+
+    def format(self, width: int = 18) -> str:
+        return f"{self.label:<{width}} {str(self.makespan):>10}   x{self.ratio:.3f}"
+
+
+def comparison_table(
+    results: Mapping[str, Time], reference: str
+) -> list[ComparisonRow]:
+    """Build comparison rows against ``results[reference]`` (sorted by ratio)."""
+    ref = results[reference]
+    rows = [
+        ComparisonRow(name, mk, optimality_ratio(mk, ref))
+        for name, mk in results.items()
+    ]
+    rows.sort(key=lambda r: (r.ratio, r.label))
+    return rows
+
+
+def format_table(
+    header: Sequence[str], rows: Sequence[Sequence[Any]], *, pad: int = 2
+) -> str:
+    """Plain-text fixed-width table used by every benchmark printout."""
+    cells = [[str(h) for h in header]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(header))]
+    sep = " " * pad
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append(sep.join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if idx == 0:
+            lines.append(sep.join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def speedup_over_single(schedule: Schedule, single_makespan: Time) -> float:
+    """Speedup of a schedule against the best single-processor run."""
+    return optimality_ratio(single_makespan, schedule.makespan)

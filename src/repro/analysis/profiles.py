@@ -1,0 +1,110 @@
+"""Makespan/deadline staircase profiles — the two dual views of the problem.
+
+The paper switches between two formulations of the same question: *minimum
+makespan for n tasks* (§3) and *maximum tasks within Tlim* (§7).  The two
+are inverse staircases::
+
+    tasks(T)    = max { n : makespan(n) <= T }       (non-decreasing in T)
+    makespan(n) = min { T : tasks(T)    >= n }       (non-decreasing in n)
+
+This module materialises both profiles over a range, checks their inversion
+relation, and exposes the *breakpoints* — the deadlines where one extra task
+becomes possible — which are exactly the optimal makespans for
+``n = 1, 2, 3, ...``.  Useful for capacity planning ("how much deadline do I
+buy per extra time unit?") and used by property tests as a consistency rail
+between the two algorithm variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Union
+
+from ..core.chain import chain_makespan, max_tasks_within
+from ..core.fork import fork_schedule
+from ..core.spider import spider_makespan, spider_max_tasks
+from ..core.types import PlatformError, Time
+from ..platforms.chain import Chain
+from ..platforms.spider import Spider
+from ..platforms.star import Star
+
+Platform = Union[Chain, Star, Spider]
+
+
+def _fns(platform: Platform) -> tuple[Callable[[int], Time], Callable[[Time], int]]:
+    if isinstance(platform, Chain):
+        return (
+            lambda n: chain_makespan(platform, n),
+            lambda t: max_tasks_within(platform, t),
+        )
+    if isinstance(platform, Spider):
+        return (
+            lambda n: spider_makespan(platform, n),
+            lambda t: spider_max_tasks(platform, t),
+        )
+    if isinstance(platform, Star):
+        sp = Spider.from_star(platform)
+        return (
+            lambda n: fork_schedule(platform, n).makespan,
+            lambda t: spider_max_tasks(sp, t),
+        )
+    raise PlatformError(f"unsupported platform {type(platform).__name__}")
+
+
+@dataclass(frozen=True)
+class StaircaseProfile:
+    """The optimal (n, makespan) breakpoints of a platform."""
+
+    #: ``breakpoints[i]`` is the optimal makespan for ``i+1`` tasks.
+    breakpoints: tuple[Time, ...]
+
+    @property
+    def max_tasks(self) -> int:
+        return len(self.breakpoints)
+
+    def makespan(self, n: int) -> Time:
+        if not 1 <= n <= self.max_tasks:
+            raise PlatformError(f"n={n} outside profile range 1..{self.max_tasks}")
+        return self.breakpoints[n - 1]
+
+    def tasks_within(self, t_lim: Time) -> int:
+        """Evaluate the dual staircase from the breakpoints."""
+        count = 0
+        for bp in self.breakpoints:
+            if bp <= t_lim:
+                count += 1
+            else:
+                break
+        return count
+
+    def marginal_costs(self) -> list[Time]:
+        """Extra time bought by each additional task (diffs of breakpoints).
+
+        On a saturated platform this converges to ``1/throughput*`` — the
+        steady-state cadence."""
+        return [
+            b - a for a, b in zip(self.breakpoints, self.breakpoints[1:])
+        ]
+
+
+def makespan_profile(platform: Platform, max_n: int) -> StaircaseProfile:
+    """Optimal makespans for ``n = 1..max_n``."""
+    if max_n < 1:
+        raise PlatformError(f"need max_n >= 1, got {max_n}")
+    mk_fn, _ = _fns(platform)
+    return StaircaseProfile(tuple(mk_fn(n) for n in range(1, max_n + 1)))
+
+
+def verify_staircase_duality(platform: Platform, max_n: int) -> None:
+    """Assert the two formulations invert each other exactly (integral
+    platforms).  Raises ``AssertionError`` with the first inconsistency."""
+    mk_fn, tasks_fn = _fns(platform)
+    profile = makespan_profile(platform, max_n)
+    for n in range(1, max_n + 1):
+        mk = profile.makespan(n)
+        assert tasks_fn(mk) >= n, f"tasks({mk}) < {n}"
+        if isinstance(mk, int) and mk > 0:
+            assert tasks_fn(mk - 1) < n, f"tasks({mk - 1}) >= {n}: {mk} not minimal"
+    # monotone staircase
+    bps = profile.breakpoints
+    assert all(a <= b for a, b in zip(bps, bps[1:])), "breakpoints not monotone"

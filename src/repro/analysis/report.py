@@ -1,0 +1,167 @@
+"""Programmatic experiment runner — regenerate the headline results as
+markdown without pytest.
+
+``build_report()`` reruns a curated version of the experiment suite (the
+cheap, headline subset of E1–E11: the worked example, optimality sweeps,
+complexity fits, heuristic ratios and steady-state convergence) and renders
+a markdown report.  The CLI exposes it as ``repro report``; downstream users
+get a one-call regeneration of the reproduction's core claims::
+
+    from repro.analysis.report import build_report
+    print(build_report(seed=0).markdown)
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+
+from ..baselines.bruteforce import optimal_makespan
+from ..baselines.heuristics import ALL_HEURISTICS
+from ..core.chain import chain_makespan, schedule_chain
+from ..core.spider import spider_schedule_deadline
+from ..platforms.generators import random_chain
+from ..platforms.presets import (
+    PAPER_FIG2_MAKESPAN,
+    PAPER_FIG2_TASKS,
+    PAPER_FIG7_NODE_TIMES,
+    paper_fig2_chain,
+)
+from ..platforms.spider import Spider
+from .complexity import chain_opcount_in_n, chain_opcount_in_p
+from .steady_state import chain_steady_state
+
+
+@dataclass
+class ExperimentReport:
+    """Outcome of one report run."""
+
+    sections: list[tuple[str, str]] = field(default_factory=list)
+    failures: list[str] = field(default_factory=list)
+
+    def add(self, title: str, body: str) -> None:
+        self.sections.append((title, body))
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def markdown(self) -> str:
+        parts = ["# Reproduction report", ""]
+        if self.failures:
+            parts += ["## FAILURES", ""] + [f"* {f}" for f in self.failures] + [""]
+        for title, body in self.sections:
+            parts += [f"## {title}", "", body, ""]
+        return "\n".join(parts)
+
+
+def _md_table(header: list[str], rows: list[list]) -> str:
+    out = ["| " + " | ".join(header) + " |",
+           "|" + "|".join("---" for _ in header) + "|"]
+    for row in rows:
+        out.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(out)
+
+
+def build_report(seed: int = 0, quick: bool = True) -> ExperimentReport:
+    """Run the headline experiments and collect a markdown report.
+
+    ``quick`` keeps the sweeps small (seconds); ``quick=False`` doubles the
+    instance counts.
+    """
+    rep = ExperimentReport()
+    scale = 1 if quick else 2
+
+    # E1 — the worked example
+    chain = paper_fig2_chain()
+    sched = schedule_chain(chain, PAPER_FIG2_TASKS)
+    if sched.makespan != PAPER_FIG2_MAKESPAN:
+        rep.failures.append(
+            f"E1: makespan {sched.makespan} != paper {PAPER_FIG2_MAKESPAN}"
+        )
+    rep.add(
+        "E1 — Fig. 2 worked example",
+        _md_table(
+            ["quantity", "paper", "measured"],
+            [
+                ["makespan (n=5)", PAPER_FIG2_MAKESPAN, sched.makespan],
+                ["placement", "{1: 4, 2: 1}", str(sched.task_counts())],
+            ],
+        ),
+    )
+
+    # E2 — the transformation
+    fig7 = spider_schedule_deadline(Spider([chain]), PAPER_FIG2_MAKESPAN)
+    works = tuple(sorted(n.work for n in fig7.fork_nodes))
+    if works != PAPER_FIG7_NODE_TIMES:
+        rep.failures.append(f"E2: fork nodes {works} != {PAPER_FIG7_NODE_TIMES}")
+    rep.add(
+        "E2 — Fig. 7 fork nodes",
+        _md_table(
+            ["paper", "measured"],
+            [[str(list(PAPER_FIG7_NODE_TIMES)), str(list(works))]],
+        ),
+    )
+
+    # E3 — optimality sweep
+    rng = random.Random(seed)
+    trials, matches = 15 * scale, 0
+    for _ in range(trials):
+        ch = random_chain(rng.randint(1, 4), rng=rng)
+        n = rng.randint(1, 5)
+        matches += chain_makespan(ch, n) == optimal_makespan(ch, n).makespan
+    if matches != trials:
+        rep.failures.append(f"E3: only {matches}/{trials} optimal")
+    rep.add(
+        "E3 — Theorem 1 vs exhaustive search",
+        _md_table(["instances", "exact matches"], [[trials, matches]]),
+    )
+
+    # E4 — complexity fits
+    _, fit_n = chain_opcount_in_n(random_chain(8, seed=seed), [32, 64, 128, 256])
+    _, fit_p = chain_opcount_in_p(
+        lambda p: random_chain(p, seed=seed), [4, 8, 16, 32], 32
+    )
+    if not 0.9 <= fit_n.exponent <= 1.1:
+        rep.failures.append(f"E4: n-exponent {fit_n.exponent}")
+    if not 1.7 <= fit_p.exponent <= 2.3:
+        rep.failures.append(f"E4: p-exponent {fit_p.exponent}")
+    rep.add(
+        "E4 — complexity O(n·p²)",
+        _md_table(
+            ["sweep", "paper slope", "measured"],
+            [["ops vs n", 1, f"{fit_n.exponent:.3f}"],
+             ["ops vs p", 2, f"{fit_p.exponent:.3f}"]],
+        ),
+    )
+
+    # E7 — heuristic ratios
+    rows = []
+    ratios_by_name: dict[str, list[float]] = {name: [] for name in ALL_HEURISTICS}
+    for _ in range(8 * scale):
+        ch = random_chain(rng.randint(2, 5), rng=rng)
+        opt = chain_makespan(ch, 10)
+        for name, heuristic in ALL_HEURISTICS.items():
+            ratios_by_name[name].append(heuristic(ch, 10).makespan / opt)
+    for name, ratios in sorted(ratios_by_name.items()):
+        if min(ratios) < 1.0:
+            rep.failures.append(f"E7: {name} beat the optimum")
+        rows.append([name, f"{statistics.mean(ratios):.3f}", f"{max(ratios):.3f}"])
+    rep.add(
+        "E7 — heuristics vs optimal (chains, n=10)",
+        _md_table(["heuristic", "mean ratio", "worst"], rows),
+    )
+
+    # E9 — steady-state convergence on the fig2 chain
+    thr = chain_steady_state(chain).throughput
+    series = []
+    for n in (8, 32, 128):
+        rate = n / float(chain_makespan(chain, n))
+        if rate > float(thr) + 1e-9:
+            rep.failures.append(f"E9: rate {rate} above bound {thr}")
+        series.append([n, f"{rate:.4f}", f"{float(thr):.4f}"])
+    rep.add("E9 — rate → throughput (fig2 chain)", _md_table(["n", "rate", "bound"], series))
+
+    return rep

@@ -1,0 +1,44 @@
+"""Baselines: exhaustive optima, forward heuristics and fluid (DLT) bounds.
+
+Everything the paper's algorithms are compared against lives here:
+
+* :mod:`repro.baselines.asap` — forward ASAP semantics for a fixed
+  destination sequence (the execution model shared by all baselines);
+* :mod:`repro.baselines.bruteforce` — exact optima by exhaustive search
+  (validates Theorems 1 and 3 on small instances);
+* :mod:`repro.baselines.heuristics` — forward list-scheduling heuristics;
+* :mod:`repro.baselines.divisible` — divisible-load (fluid) lower bounds.
+"""
+
+from .asap import AsapState, asap_from_sequence, asap_makespan
+from .bruteforce import BruteForceResult, enumerate_makespans, optimal_makespan
+from .bruteforce import max_tasks_within as bruteforce_max_tasks
+from .heuristics import (
+    ALL_HEURISTICS,
+    bandwidth_greedy,
+    greedy_earliest_completion,
+    greedy_min_makespan,
+    master_only,
+    round_robin,
+)
+from .divisible import FluidSolution, chain_fluid_bound, quantisation_gap, star_closed_form
+
+__all__ = [
+    "AsapState",
+    "asap_from_sequence",
+    "asap_makespan",
+    "BruteForceResult",
+    "enumerate_makespans",
+    "optimal_makespan",
+    "bruteforce_max_tasks",
+    "ALL_HEURISTICS",
+    "bandwidth_greedy",
+    "greedy_earliest_completion",
+    "greedy_min_makespan",
+    "master_only",
+    "round_robin",
+    "FluidSolution",
+    "chain_fluid_bound",
+    "quantisation_gap",
+    "star_closed_form",
+]

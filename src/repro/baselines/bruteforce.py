@@ -1,0 +1,161 @@
+"""Exhaustive optimal baselines (for validating Theorems 1 and 3).
+
+Identical tasks mean the whole search space is the set of *destination
+sequences* (which processor each successive emission goes to); ASAP forward
+semantics is pointwise-minimal for a fixed sequence (see
+:mod:`repro.baselines.asap`).  A depth-first search with makespan pruning
+therefore computes the exact optimum.  Cost is ``O(p^n)`` — usable up to
+``n ≈ 8–10`` on the platform sizes the validation sweeps use, which is
+plenty to falsify a wrong polynomial algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from ..core.schedule import ProcKey, Schedule, adapter_for
+from ..core.types import Time
+from .asap import AsapState, asap_from_sequence
+
+
+@dataclass
+class BruteForceResult:
+    """Outcome of an exhaustive search."""
+
+    makespan: Time
+    sequence: tuple[ProcKey, ...]
+    schedule: Schedule
+    explored: int  # number of DFS nodes visited (diagnostics)
+
+    @property
+    def counts(self) -> dict[ProcKey, int]:
+        out: dict[ProcKey, int] = {}
+        for d in self.sequence:
+            out[d] = out.get(d, 0) + 1
+        return out
+
+
+def optimal_makespan(platform: Any, n: int) -> BruteForceResult:
+    """Exact minimum makespan for ``n`` identical tasks on ``platform``.
+
+    DFS over destination sequences with two prunings:
+
+    * *bound*: a partial state whose makespan already reaches the incumbent
+      is abandoned (ASAP times only grow as tasks are appended);
+    * *dominance on first level*: processors are tried in a deterministic
+      order so ties resolve reproducibly.
+    """
+    adapter = adapter_for(platform)
+    procs = adapter.processors()
+    best_seq: Optional[tuple[ProcKey, ...]] = None
+    best_mk: Optional[Time] = None
+    explored = 0
+
+    def dfs(state: AsapState, seq: list[ProcKey]) -> None:
+        nonlocal best_seq, best_mk, explored
+        explored += 1
+        if best_mk is not None and state.makespan >= best_mk:
+            return
+        if len(seq) == n:
+            best_mk, best_seq = state.makespan, tuple(seq)
+            return
+        for dest in procs:
+            nxt = state.copy()
+            nxt.push(dest)
+            seq.append(dest)
+            dfs(nxt, seq)
+            seq.pop()
+
+    dfs(AsapState(adapter), [])
+    assert best_seq is not None and best_mk is not None
+    return BruteForceResult(
+        makespan=best_mk,
+        sequence=best_seq,
+        schedule=asap_from_sequence(platform, best_seq),
+        explored=explored,
+    )
+
+
+def max_tasks_within(platform: Any, t_lim: Time, cap: int = 32) -> BruteForceResult:
+    """Exact maximum number of tasks completable within ``t_lim``.
+
+    Used to validate the deadline variants (chain §7 rewrite, fork
+    algorithm, spider algorithm).  Searches destination sequences of growing
+    length; stops at the first length that is infeasible (the feasible counts
+    are downward closed: removing the last emission of a feasible ASAP
+    schedule keeps it feasible).
+    """
+    adapter = adapter_for(platform)
+    procs = adapter.processors()
+    best: Optional[tuple[ProcKey, ...]] = ()
+    explored = 0
+
+    def exists(k: int) -> Optional[tuple[ProcKey, ...]]:
+        """Any sequence of length k finishing by t_lim?"""
+        nonlocal explored
+        found: Optional[tuple[ProcKey, ...]] = None
+
+        def dfs(state: AsapState, seq: list[ProcKey]) -> bool:
+            nonlocal explored, found
+            explored += 1
+            if state.makespan > t_lim:
+                return False
+            if len(seq) == k:
+                found = tuple(seq)
+                return True
+            for dest in procs:
+                nxt = state.copy()
+                nxt.push(dest)
+                seq.append(dest)
+                if dfs(nxt, seq):
+                    return True
+                seq.pop()
+            return False
+
+        dfs(AsapState(adapter), [])
+        return found
+
+    for k in range(1, cap + 1):
+        seq = exists(k)
+        if seq is None:
+            break
+        best = seq
+    schedule = asap_from_sequence(platform, best) if best else Schedule(platform)
+    return BruteForceResult(
+        makespan=schedule.makespan,
+        sequence=tuple(best or ()),
+        schedule=schedule,
+        explored=explored,
+    )
+
+
+def enumerate_makespans(
+    platform: Any, n: int, limit: int = 200_000
+) -> list[tuple[Time, tuple[ProcKey, ...]]]:
+    """All (makespan, sequence) pairs, for distribution plots / diagnostics.
+
+    Guarded by ``limit`` DFS leaves; raises if the space is larger.
+    """
+    adapter = adapter_for(platform)
+    procs = adapter.processors()
+    if len(procs) ** n > limit:
+        raise ValueError(
+            f"{len(procs)}^{n} sequences exceed limit={limit}; "
+            "use optimal_makespan() instead"
+        )
+    out: list[tuple[Time, tuple[ProcKey, ...]]] = []
+
+    def dfs(state: AsapState, seq: list[ProcKey]) -> None:
+        if len(seq) == n:
+            out.append((state.makespan, tuple(seq)))
+            return
+        for dest in procs:
+            nxt = state.copy()
+            nxt.push(dest)
+            seq.append(dest)
+            dfs(nxt, seq)
+            seq.pop()
+
+    dfs(AsapState(adapter), [])
+    return out

@@ -1,0 +1,154 @@
+"""Divisible-load bounds (refs [5], [6], [10] of the paper).
+
+Divisible Load Theory (DLT) studies the *fluid* relaxation of this paper's
+problem: the workload can be cut into arbitrary fractions instead of unit
+tasks.  Any fluid schedule lower-bounds the quantum optimum, so DLT gives a
+clean yardstick: the paper's algorithm must sit above the fluid bound and
+converge to it as ``n → ∞`` (the quantisation gap is ``O(1)`` time units,
+hence ``O(1/n)`` relative).
+
+Two comparators are provided:
+
+* :func:`chain_fluid_bound` — an LP lower bound for heterogeneous chains
+  with a single-ported master, built only from necessary resource/route
+  constraints (solved with ``scipy.optimize.linprog``);
+* :func:`star_closed_form` — the classical closed-form single-installment
+  DLT solution for star networks with sequential distribution and
+  simultaneous completion (Robertazzi et al.), the model of refs [5][10].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.types import PlatformError, Time
+from ..platforms.chain import Chain
+from ..platforms.star import Star
+
+
+@dataclass
+class FluidSolution:
+    """A fluid (divisible) load distribution and its finish time."""
+
+    finish_time: float
+    fractions: tuple[float, ...]  # load assigned to each processor, in tasks
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.fractions))
+
+
+def chain_fluid_bound(chain: Chain, n: int) -> FluidSolution:
+    """LP lower bound on the makespan of ``n`` unit tasks on ``chain``.
+
+    Variables: ``a_i`` (load on processor i, in tasks) and ``T``.  Every
+    constraint is *unconditionally* necessary (it holds in any feasible
+    quantum schedule, including when a processor or link carries no load),
+    so the LP optimum lower-bounds the quantum optimum:
+
+    * conservation: ``Σ a_i = n``;
+    * processor window, relaxed to stay valid at ``a_i = 0``: in any
+      schedule with ``a_i >= 1`` tasks on processor ``i``,
+      ``T >= Σ_{j≤i} c_j + a_i·w_i >= (a_i/n)·Σ_{j≤i} c_j + a_i·w_i``, and
+      the right-hand side degrades gracefully to 0 when ``a_i = 0``:
+      ``a_i·(w_i + prefix_i/n) ≤ T``;
+    * link window, same relaxation: link ``j`` carries ``L_j = Σ_{i≥j} a_i``
+      messages, the first of which cannot start before ``prefix_{j-1}``:
+      ``L_j·(c_j + prefix_{j-1}/n) ≤ T``.
+
+    The ``prefix/n`` terms vanish as ``n → ∞``, where the bound tends to
+    the bandwidth-centric steady-state rate bound — exactly the asymptotic
+    regime in which divisible-load analysis is exact.
+    """
+    if n < 1:
+        raise PlatformError(f"need n >= 1, got {n}")
+    p = chain.p
+    # unknowns x = (a_1..a_p, T); minimise T
+    c_obj = np.zeros(p + 1)
+    c_obj[-1] = 1.0
+    a_ub: list[list[float]] = []
+    b_ub: list[float] = []
+    prefix = [0.0]
+    for j in range(1, p + 1):
+        prefix.append(prefix[-1] + chain.latency(j))
+    # relaxed processor windows
+    for i in range(1, p + 1):
+        row = [0.0] * (p + 1)
+        row[i - 1] = chain.work(i) + prefix[i] / n
+        row[-1] = -1.0
+        a_ub.append(row)
+        b_ub.append(0.0)
+    # relaxed link windows
+    for j in range(1, p + 1):
+        row = [0.0] * (p + 1)
+        for i in range(j, p + 1):
+            row[i - 1] = chain.latency(j) + prefix[j - 1] / n
+        row[-1] = -1.0
+        a_ub.append(row)
+        b_ub.append(0.0)
+    a_eq = [[1.0] * p + [0.0]]
+    b_eq = [float(n)]
+    from scipy.optimize import linprog
+
+    res = linprog(
+        c_obj,
+        A_ub=np.array(a_ub),
+        b_ub=np.array(b_ub),
+        A_eq=np.array(a_eq),
+        b_eq=np.array(b_eq),
+        bounds=[(0, None)] * p + [(0, None)],
+        method="highs",
+    )
+    if not res.success:  # pragma: no cover - defensive
+        raise PlatformError(f"fluid LP failed: {res.message}")
+    return FluidSolution(float(res.x[-1]), tuple(float(v) for v in res.x[:-1]))
+
+
+def star_closed_form(star: Star, load: float) -> FluidSolution:
+    """Single-installment DLT on a star: sequential distribution, all
+    processors finish simultaneously (the optimality condition of refs
+    [5][10] when every processor participates).
+
+    Child ``i`` receives fraction ``α_i`` (in tasks) in emission order
+    1..k; with communication ``c_i`` per task and work ``w_i`` per task, the
+    simultaneous-completion recursion is::
+
+        finish_i  =  Σ_{j ≤ i} α_j c_j  +  α_i w_i     (equal for all i)
+
+    which yields ``α_{i+1} = α_i · w_i / (c_{i+1} + w_{i+1})``, closed by
+    ``Σ α_i = load``.  For heterogeneous stars the *emission order* matters;
+    this routine uses ascending ``c_i`` order, optimal for this model.
+    """
+    if load <= 0:
+        raise PlatformError(f"need positive load, got {load}")
+    order = sorted(range(star.arity), key=lambda i: (star.children[i].c, star.children[i].w))
+    c = [float(star.children[i].c) for i in order]
+    w = [float(star.children[i].w) for i in order]
+    k = len(order)
+    # ratios r_i = alpha_i / alpha_1
+    ratios = [1.0]
+    for i in range(1, k):
+        ratios.append(ratios[-1] * w[i - 1] / (c[i] + w[i]))
+    alpha1 = load / sum(ratios)
+    alpha_sorted = [alpha1 * r for r in ratios]
+    # finish time (same for every participant by construction)
+    finish = 0.0
+    comm = 0.0
+    for i in range(k):
+        comm += alpha_sorted[i] * c[i]
+        finish = comm + alpha_sorted[i] * w[i]
+    fractions = [0.0] * star.arity
+    for pos, i in enumerate(order):
+        fractions[i] = alpha_sorted[pos]
+    return FluidSolution(finish, tuple(fractions))
+
+
+def quantisation_gap(chain: Chain, n: int, quantum_makespan: Time) -> float:
+    """Relative gap between the quantum optimum and the fluid bound
+    (experiment E10: should shrink like O(1/n))."""
+    fluid = chain_fluid_bound(chain, n)
+    if fluid.finish_time <= 0:
+        return 0.0
+    return (float(quantum_makespan) - fluid.finish_time) / fluid.finish_time

@@ -1,0 +1,131 @@
+"""Forward list-scheduling heuristics (comparison baselines, experiment E7).
+
+These are the "natural" strategies a practitioner would try before the
+paper's backward construction; the benchmark harness measures how far from
+optimal they land.  All of them work on any platform (chain, star, spider,
+tree) through the ASAP state machine, and all return *feasible* schedules.
+
+* :func:`master_only` — everything on the first / single best processor
+  (the schedule whose makespan is the paper's horizon ``T∞`` on chains);
+* :func:`round_robin` — cycle through processors regardless of speed;
+* :func:`greedy_earliest_completion` — myopically route each task to the
+  processor that finishes it soonest (an MCT / minimum-completion-time
+  list scheduler, the classic heuristic for this class of problems);
+* :func:`greedy_min_makespan` — route each task so the *partial makespan*
+  grows the least (ties by earliest completion);
+* :func:`bandwidth_greedy` — prioritise processors by ascending
+  communication cost of their route (the steady-state intuition of
+  Beaumont et al. [2] applied greedily to finite n).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..core.schedule import ProcKey, Schedule, adapter_for
+from ..core.types import PlatformError, Time
+from .asap import AsapState
+
+Heuristic = Callable[[Any, int], Schedule]
+
+
+def _run(platform: Any, n: int, choose: Callable[[AsapState, list[ProcKey]], ProcKey]) -> Schedule:
+    if n < 0:
+        raise PlatformError(f"need n >= 0 tasks, got {n}")
+    adapter = adapter_for(platform)
+    procs = adapter.processors()
+    state = AsapState(adapter)
+    for _ in range(n):
+        state.push(choose(state, procs))
+    return state.to_schedule(platform)
+
+
+def master_only(platform: Any, n: int) -> Schedule:
+    """All tasks on the single best processor (min completion for n tasks).
+
+    On a chain this is the ``T∞`` reference schedule of §3 when the first
+    processor wins (it does whenever ``c₁ + w₁`` dominates the others'
+    pipelines); on stars it is the best single child.
+    """
+    adapter = adapter_for(platform)
+    procs = adapter.processors()
+
+    def solo_makespan(proc: ProcKey) -> Time:
+        route = adapter.route(proc)
+        arrive = sum(adapter.latency(l) for l in route)
+        cadence = max(adapter.latency(route[0]), adapter.work(proc))
+        return arrive + adapter.work(proc) + (n - 1) * max(cadence, adapter.work(proc))
+
+    best = min(procs, key=lambda pr: (solo_makespan(pr), str(pr)))
+    return _run(platform, n, lambda state, _: best)
+
+
+def round_robin(platform: Any, n: int) -> Schedule:
+    """Cycle through all processors in enumeration order."""
+    counter = {"i": 0}
+
+    def choose(state: AsapState, procs: list[ProcKey]) -> ProcKey:
+        dest = procs[counter["i"] % len(procs)]
+        counter["i"] += 1
+        return dest
+
+    return _run(platform, n, choose)
+
+
+def greedy_earliest_completion(platform: Any, n: int) -> Schedule:
+    """MCT: each task goes where it would finish soonest (myopic)."""
+
+    def choose(state: AsapState, procs: list[ProcKey]) -> ProcKey:
+        return min(procs, key=lambda pr: (state.peek_completion(pr), str(pr)))
+
+    return _run(platform, n, choose)
+
+
+def greedy_min_makespan(platform: Any, n: int) -> Schedule:
+    """Each task goes where the partial makespan grows least."""
+
+    def choose(state: AsapState, procs: list[ProcKey]) -> ProcKey:
+        def key(pr: ProcKey) -> tuple[Time, Time, str]:
+            completion = state.peek_completion(pr)
+            return (max(state.makespan, completion), completion, str(pr))
+
+        return min(procs, key=key)
+
+    return _run(platform, n, choose)
+
+
+def bandwidth_greedy(platform: Any, n: int) -> Schedule:
+    """Prefer cheap-to-reach processors, falling back as they saturate.
+
+    Processors are ranked by ascending route communication cost (then
+    ascending work); each task is sent to the highest-ranked processor whose
+    completion time for this task is within one cadence of the best
+    available — a finite-n rendition of bandwidth-centric allocation [2].
+    """
+    adapter = adapter_for(platform)
+
+    def rank(pr: ProcKey) -> tuple[Time, Time, str]:
+        route = adapter.route(pr)
+        return (sum(adapter.latency(l) for l in route), adapter.work(pr), str(pr))
+
+    ordered = sorted(adapter.processors(), key=rank)
+
+    def choose(state: AsapState, procs: list[ProcKey]) -> ProcKey:
+        best_completion = min(state.peek_completion(pr) for pr in ordered)
+        for pr in ordered:
+            cadence = max(adapter.work(pr), adapter.latency(adapter.route(pr)[0]))
+            if state.peek_completion(pr) <= best_completion + cadence:
+                return pr
+        return ordered[0]  # unreachable; keeps mypy/readers happy
+
+    return _run(platform, n, choose)
+
+
+#: Registry used by the comparison benchmarks and the CLI.
+ALL_HEURISTICS: dict[str, Heuristic] = {
+    "master_only": master_only,
+    "round_robin": round_robin,
+    "greedy_mct": greedy_earliest_completion,
+    "greedy_makespan": greedy_min_makespan,
+    "bandwidth_greedy": bandwidth_greedy,
+}

@@ -1,0 +1,342 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+``fig2``
+    Reproduce the paper's worked example (Fig. 2 schedule + Fig. 7 nodes).
+``chain``
+    Optimal schedule on a chain: ``repro chain --c 2,3 --w 3,5 -n 5``.
+``spider``
+    Optimal schedule on a spider: ``repro spider --leg 2/3,3/5 --leg 1/4 -n 8``.
+``star``
+    Optimal schedule on a star: ``repro star --child 2/3 --child 1/5 -n 6``.
+``compare``
+    Heuristics vs the optimal algorithm on a platform.
+``simulate``
+    Online policies through the discrete-event simulator.
+``steady``
+    Bandwidth-centric steady-state throughput of a platform.
+``tree``
+    Spider-cover heuristic on a random tree: ``repro tree --workers 8 -n 20``.
+``failures``
+    Online run with injected fail-stop workers:
+    ``repro failures --leg 1/4,2/3 --leg 5/7 -n 20 --kill 6@1,1``.
+``fig7``
+    DOT rendering of the chain→fork transformation at a deadline.
+
+All commands accept ``--gantt`` (ASCII chart), ``--svg PATH`` and
+``--json PATH`` outputs, and ``--platform FILE`` to load a JSON platform
+instead of inline specs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Sequence
+
+from .analysis.metrics import comparison_table, compute_metrics, format_table
+from .analysis.steady_state import (
+    chain_steady_state,
+    spider_steady_state,
+    star_steady_state,
+)
+from .baselines.heuristics import ALL_HEURISTICS
+from .core.chain import schedule_chain
+from .core.fork import fork_schedule
+from .core.spider import spider_schedule
+from .core.feasibility import assert_feasible
+from .io.json_io import load_platform, save_schedule
+from .platforms.chain import Chain
+from .platforms.presets import paper_fig2_chain
+from .platforms.spider import Spider
+from .platforms.star import Star
+from .sim.online import ONLINE_POLICIES, simulate_online
+from .viz.gantt import render_gantt
+from .viz.svg import save_svg
+
+
+def _parse_ints_or_floats(text: str) -> list:
+    out = []
+    for tok in text.split(","):
+        tok = tok.strip()
+        out.append(int(tok) if tok.lstrip("-").isdigit() else float(tok))
+    return out
+
+
+def _parse_leg(text: str) -> Chain:
+    """``2/3,3/5`` -> Chain(c=(2,3), w=(3,5))."""
+    cs, ws = [], []
+    for pair in text.split(","):
+        c, w = pair.split("/")
+        cs.append(int(c) if c.lstrip("-").isdigit() else float(c))
+        ws.append(int(w) if w.lstrip("-").isdigit() else float(w))
+    return Chain(cs, ws)
+
+
+def _emit(schedule, args) -> None:
+    print(f"makespan: {schedule.makespan}   tasks: {schedule.n_tasks}")
+    m = compute_metrics(schedule)
+    print(f"task counts: {m.counts}")
+    if args.gantt:
+        print(render_gantt(schedule))
+    if args.svg:
+        print(f"wrote {save_svg(schedule, args.svg)}")
+    if args.json:
+        print(f"wrote {save_schedule(schedule, args.json)}")
+
+
+def _add_output_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--gantt", action="store_true", help="print ASCII Gantt chart")
+    p.add_argument("--svg", metavar="PATH", help="write SVG Gantt chart")
+    p.add_argument("--json", metavar="PATH", help="write schedule JSON")
+
+
+def _platform_from_args(args) -> Any:
+    if getattr(args, "platform", None):
+        return load_platform(args.platform)
+    if getattr(args, "leg", None):
+        return Spider([_parse_leg(leg) for leg in args.leg])
+    if getattr(args, "child", None):
+        return Star([tuple(_parse_ints_or_floats(ch.replace("/", ","))) for ch in args.child])
+    if getattr(args, "c", None) and getattr(args, "w", None):
+        return Chain(_parse_ints_or_floats(args.c), _parse_ints_or_floats(args.w))
+    raise SystemExit("no platform given (use --c/--w, --leg, --child or --platform)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Master-slave tasking on heterogeneous processors (Dutot, IPPS 2003)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig2", help="reproduce the paper's worked example")
+    _add_output_flags(p)
+
+    p = sub.add_parser("chain", help="optimal schedule on a chain")
+    p.add_argument("--c", help="comma-separated link latencies")
+    p.add_argument("--w", help="comma-separated processing times")
+    p.add_argument("--platform", help="platform JSON file")
+    p.add_argument("-n", type=int, required=True, help="number of tasks")
+    _add_output_flags(p)
+
+    p = sub.add_parser("spider", help="optimal schedule on a spider")
+    p.add_argument("--leg", action="append", help="leg spec c/w,c/w,... (repeatable)")
+    p.add_argument("--platform", help="platform JSON file")
+    p.add_argument("-n", type=int, required=True)
+    _add_output_flags(p)
+
+    p = sub.add_parser("star", help="optimal schedule on a star (fork)")
+    p.add_argument("--child", action="append", help="child spec c/w (repeatable)")
+    p.add_argument("--platform", help="platform JSON file")
+    p.add_argument("-n", type=int, required=True)
+    _add_output_flags(p)
+
+    p = sub.add_parser("compare", help="heuristics vs the optimal algorithm")
+    p.add_argument("--c", help="chain link latencies")
+    p.add_argument("--w", help="chain processing times")
+    p.add_argument("--leg", action="append")
+    p.add_argument("--child", action="append")
+    p.add_argument("--platform")
+    p.add_argument("-n", type=int, required=True)
+
+    p = sub.add_parser("simulate", help="online policies through the simulator")
+    p.add_argument("--c", help="chain link latencies")
+    p.add_argument("--w", help="chain processing times")
+    p.add_argument("--leg", action="append")
+    p.add_argument("--child", action="append")
+    p.add_argument("--platform")
+    p.add_argument("-n", type=int, required=True)
+    p.add_argument(
+        "--policy", default="demand_driven", choices=sorted(ONLINE_POLICIES)
+    )
+
+    p = sub.add_parser("steady", help="steady-state throughput")
+    p.add_argument("--c", help="chain link latencies")
+    p.add_argument("--w", help="chain processing times")
+    p.add_argument("--leg", action="append")
+    p.add_argument("--child", action="append")
+    p.add_argument("--platform")
+
+    p = sub.add_parser("tree", help="spider-cover heuristic on a random tree")
+    p.add_argument("--workers", type=int, default=8, help="number of workers")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-n", type=int, required=True)
+    p.add_argument("--dot", action="store_true", help="print the cover as DOT")
+
+    p = sub.add_parser("failures", help="online run with injected failures")
+    p.add_argument("--c", help="chain link latencies")
+    p.add_argument("--w", help="chain processing times")
+    p.add_argument("--leg", action="append")
+    p.add_argument("--child", action="append")
+    p.add_argument("--platform")
+    p.add_argument("-n", type=int, required=True)
+    p.add_argument(
+        "--policy", default="demand_driven", choices=sorted(ONLINE_POLICIES)
+    )
+    p.add_argument(
+        "--kill",
+        action="append",
+        default=[],
+        metavar="T@PROC",
+        help="failure spec time@processor, e.g. 6@2 (star child) or 6@1,2 "
+        "(spider leg,pos); repeatable",
+    )
+
+    p = sub.add_parser("fig7", help="DOT of the chain→fork transformation")
+    p.add_argument("--leg", action="append")
+    p.add_argument("--c", help="chain link latencies")
+    p.add_argument("--w", help="chain processing times")
+    p.add_argument("--platform")
+    p.add_argument("--tlim", type=int, required=True)
+
+    p = sub.add_parser("report", help="regenerate the headline results as markdown")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--full", action="store_true", help="larger sweeps")
+    p.add_argument("--out", metavar="PATH", help="write markdown to a file")
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "fig2":
+        chain = paper_fig2_chain()
+        sched = schedule_chain(chain, 5)
+        assert_feasible(sched)
+        print("Paper Fig. 2 — chain c=(2,3), w=(3,5), n=5")
+        _emit(sched, args)
+        nodes = sorted(14 - a.first_emission - 2 for a in sched)
+        print(f"Fig. 7 fork-node processing times: {nodes} (paper: [3, 6, 8, 10, 12])")
+        return 0
+
+    if args.command in ("chain", "spider", "star"):
+        platform = _platform_from_args(args)
+        if isinstance(platform, Chain):
+            sched = schedule_chain(platform, args.n)
+        elif isinstance(platform, Spider):
+            sched = spider_schedule(platform, args.n)
+        elif isinstance(platform, Star):
+            sched = fork_schedule(platform, args.n)
+        else:
+            raise SystemExit(f"unsupported platform for {args.command}")
+        assert_feasible(sched)
+        _emit(sched, args)
+        return 0
+
+    if args.command == "compare":
+        platform = _platform_from_args(args)
+        if isinstance(platform, Chain):
+            opt = schedule_chain(platform, args.n)
+        elif isinstance(platform, Spider):
+            opt = spider_schedule(platform, args.n)
+        elif isinstance(platform, Star):
+            opt = fork_schedule(platform, args.n)
+        else:
+            raise SystemExit("unsupported platform")
+        results = {"optimal (paper)": opt.makespan}
+        for name, heuristic in ALL_HEURISTICS.items():
+            results[name] = heuristic(platform, args.n).makespan
+        rows = comparison_table(results, "optimal (paper)")
+        print(format_table(["strategy", "makespan", "ratio"],
+                           [(r.label, r.makespan, f"x{r.ratio:.3f}") for r in rows]))
+        return 0
+
+    if args.command == "simulate":
+        platform = _platform_from_args(args)
+        result = simulate_online(platform, args.n, args.policy)
+        assert_feasible(result.schedule)
+        print(f"policy: {result.policy}")
+        print(f"makespan: {result.makespan}   tasks: {result.trace.tasks_completed()}")
+        for key, util in sorted(result.trace.summary()["resources"].items()):
+            print(f"  {key}: {util:.1%}")
+        return 0
+
+    if args.command == "steady":
+        platform = _platform_from_args(args)
+        if isinstance(platform, Chain):
+            ss = chain_steady_state(platform)
+        elif isinstance(platform, Spider):
+            ss = spider_steady_state(platform)
+        elif isinstance(platform, Star):
+            ss = star_steady_state(platform)
+        else:
+            raise SystemExit("unsupported platform")
+        print(f"throughput: {ss.throughput} tasks/unit  (= {float(ss.throughput):.4f})")
+        print(f"child rates: {[str(r) for r in ss.child_rates]}")
+        return 0
+
+    if args.command == "tree":
+        from .analysis.steady_state import tree_steady_state
+        from .platforms.generators import random_tree
+        from .trees.heuristic import best_path_cover, cover_efficiency, tree_schedule_by_cover
+        from .viz.dot import platform_to_dot
+
+        tree = random_tree(args.workers, seed=args.seed)
+        cover = best_path_cover(tree)
+        sched = tree_schedule_by_cover(tree, args.n, cover)
+        assert_feasible(sched)
+        eff = cover_efficiency(tree, args.n, sched.makespan)
+        print(f"tree: {tree.p} workers (seed {args.seed}); spider? {tree.is_spider()}")
+        print(f"cover keeps {len(cover.covered)}/{tree.p} workers; "
+              f"dropped {sorted(cover.uncovered)}")
+        print(f"makespan for {args.n} tasks: {sched.makespan}")
+        print(f"tree steady-state bound: {tree_steady_state(tree).throughput}; "
+              f"cover efficiency: {eff:.1%}")
+        if args.dot:
+            print(platform_to_dot(cover.spider, "spider_cover"))
+        return 0
+
+    if args.command == "failures":
+        from .sim.faults import WorkerFailure, assert_trace_exclusive, simulate_with_failures
+
+        platform = _platform_from_args(args)
+        failures = []
+        for spec in args.kill:
+            time_part, proc_part = spec.split("@", 1)
+            proc = (
+                tuple(int(x) for x in proc_part.split(","))
+                if "," in proc_part
+                else int(proc_part)
+            )
+            failures.append(WorkerFailure(int(time_part), proc))
+        result = simulate_with_failures(platform, args.n, failures, args.policy)
+        assert_trace_exclusive(result.trace)
+        print(f"policy: {args.policy}   failures: {len(failures)}")
+        print(f"makespan: {result.makespan}   completed: {result.completed}")
+        print(f"dispatches: {result.attempts}   reissues: {result.reissues}")
+        print(f"survivors: {result.survivors}")
+        return 0
+
+    if args.command == "fig7":
+        from .platforms.chain import Chain as _Chain
+        from .viz.transformation import transformation_to_dot
+
+        platform = _platform_from_args(args)
+        if isinstance(platform, _Chain):
+            platform = Spider([platform])
+        if not isinstance(platform, Spider):
+            raise SystemExit("fig7 needs a chain or a spider")
+        print(transformation_to_dot(platform, args.tlim))
+        return 0
+
+    if args.command == "report":
+        from .analysis.report import build_report
+
+        rep = build_report(seed=args.seed, quick=not args.full)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(rep.markdown)
+            print(f"wrote {args.out}")
+        else:
+            print(rep.markdown)
+        return 0 if rep.ok else 1
+
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

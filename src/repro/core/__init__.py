@@ -1,0 +1,55 @@
+"""Core formalism and the paper's algorithms.
+
+* :mod:`repro.core.commvector` — communication vectors and the ≺ order (Def. 3)
+* :mod:`repro.core.schedule` — schedules over any platform (Def. 1–2)
+* :mod:`repro.core.feasibility` — the four feasibility conditions
+* :mod:`repro.core.chain` — the backward greedy chain algorithm (§3, Thm 1)
+* :mod:`repro.core.fork` — the fork/star algorithm of Beaumont et al. (§6)
+* :mod:`repro.core.spider` — the spider algorithm (§7, Thms 2–3)
+"""
+
+from .commvector import CommVector, greatest
+from .schedule import Schedule, TaskAssignment, adapter_for
+from .feasibility import assert_feasible, check, is_feasible
+from .chain import (
+    ChainRunStats,
+    chain_makespan,
+    max_tasks_within,
+    schedule_chain,
+    schedule_chain_deadline,
+)
+from .chain_fast import schedule_chain_deadline_fast, schedule_chain_fast
+from .types import (
+    EPS,
+    InfeasibleScheduleError,
+    PlatformError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+    Time,
+)
+
+__all__ = [
+    "CommVector",
+    "greatest",
+    "Schedule",
+    "TaskAssignment",
+    "adapter_for",
+    "assert_feasible",
+    "check",
+    "is_feasible",
+    "ChainRunStats",
+    "chain_makespan",
+    "max_tasks_within",
+    "schedule_chain",
+    "schedule_chain_deadline",
+    "schedule_chain_fast",
+    "schedule_chain_deadline_fast",
+    "EPS",
+    "InfeasibleScheduleError",
+    "PlatformError",
+    "ReproError",
+    "ScheduleError",
+    "SimulationError",
+    "Time",
+]

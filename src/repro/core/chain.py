@@ -1,0 +1,199 @@
+"""The chain algorithm (§3 of the paper) — optimal makespan on chains.
+
+The algorithm builds the schedule *backwards* from a horizon: for the
+makespan version the horizon is ``T∞ = c₁ + (n−1)·max(w₁,c₁) + w₁`` (the
+master-only schedule, an upper bound); for the deadline version it is the
+caller's ``Tlim``.  Two vectors are maintained:
+
+* the **hull** ``h_k`` — the earliest moment from which link ``k`` is still
+  committed by already-placed (later) tasks, i.e. going backward in time, the
+  next communication on link ``k`` must *end* by ``h_k``;
+* the **occupancy** ``o_k`` — same for processor ``k``'s executions.
+
+For each task (scheduled last-to-first) the algorithm evaluates one candidate
+communication vector per target processor ``k``::
+
+    ᵏC_k = min(o_k − w_k − c_k,  h_k − c_k)
+    ᵏC_j = min(ᵏC_{j+1} − c_j,  h_j − c_j)        for j = k−1 .. 1
+
+and keeps the ≺-greatest candidate (Definition 3): the task is emitted as
+late as possible, and on ties placed as close to the master as possible.
+Theorem 1 proves the result optimal in makespan; the complexity is
+``O(n·p²)``.
+
+The deadline variant (§7) swaps the horizon for ``Tlim`` and stops as soon as
+the best candidate would need a negative emission time, returning the
+(provably maximal) number of tasks schedulable within ``Tlim``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..platforms.chain import Chain
+from .commvector import CommVector
+from .schedule import Schedule, TaskAssignment
+from .types import PlatformError, Time
+
+
+@dataclass
+class ChainRunStats:
+    """Operation counters for the empirical complexity experiment (E4).
+
+    ``vector_elements`` counts inner-loop element computations — the paper's
+    dominant cost term — and should scale as ``Θ(n·p²)``.
+    """
+
+    tasks_placed: int = 0
+    candidates_evaluated: int = 0
+    vector_elements: int = 0
+    comparisons: int = 0
+
+
+@dataclass
+class _BackwardState:
+    """Hull/occupancy state of one backward construction (1-based arrays)."""
+
+    chain: Chain
+    horizon: Time
+    h: list[Time] = field(init=False)
+    o: list[Time] = field(init=False)
+
+    def __post_init__(self) -> None:
+        p = self.chain.p
+        self.h = [self.horizon] * (p + 1)  # index 0 unused
+        self.o = [self.horizon] * (p + 1)
+
+    def candidate(self, k: int, stats: Optional[ChainRunStats]) -> tuple[Time, ...]:
+        """The candidate vector ᵏC for placing the current task on proc k."""
+        c, w = self.chain.c, self.chain.w
+        h, o = self.h, self.o
+        v: list[Time] = [0] * k
+        v[k - 1] = min(o[k] - w[k - 1] - c[k - 1], h[k] - c[k - 1])
+        for j in range(k - 1, 0, -1):
+            v[j - 1] = min(v[j] - c[j - 1], h[j] - c[j - 1])
+        if stats is not None:
+            stats.candidates_evaluated += 1
+            stats.vector_elements += k
+        return tuple(v)
+
+    def best_candidate(
+        self, stats: Optional[ChainRunStats]
+    ) -> tuple[Time, ...]:
+        """≺-greatest candidate over all target processors."""
+        best: Optional[tuple[Time, ...]] = None
+        for k in range(self.chain.p, 0, -1):
+            cand = self.candidate(k, stats)
+            if best is None or _precedes(best, cand):
+                best = cand
+            if stats is not None:
+                stats.comparisons += 1
+        assert best is not None
+        return best
+
+    def commit(self, vector: tuple[Time, ...]) -> tuple[int, Time]:
+        """Place the current task along ``vector``; returns ``(P, T)``."""
+        k = len(vector)
+        start = self.o[k] - self.chain.w[k - 1]
+        self.o[k] = start
+        for j in range(1, k + 1):
+            self.h[j] = vector[j - 1]
+        return k, start
+
+
+def _precedes(a: tuple[Time, ...], b: tuple[Time, ...]) -> bool:
+    """Strict ``a ≺ b`` (Definition 3) on raw tuples — kept local and
+    allocation-free because it sits on the algorithm's hot path."""
+    la, lb = len(a), len(b)
+    for x, y in zip(a, b):
+        if x != y:
+            return x < y
+    return la > lb
+
+
+def schedule_chain(
+    chain: Chain,
+    n: int,
+    *,
+    stats: Optional[ChainRunStats] = None,
+) -> Schedule:
+    """Optimal-makespan schedule of ``n`` identical tasks on ``chain``.
+
+    Tasks in the returned schedule are numbered 1..n in emission order
+    (the paper's WLOG convention) and the schedule is shifted so the first
+    emission happens at time 0.
+
+    Complexity ``O(n·p²)`` (Theorem 1 proves optimality).
+    """
+    if n < 1:
+        raise PlatformError(f"need n >= 1 tasks, got {n}")
+    state = _BackwardState(chain, chain.t_infinity(n))
+    placements: dict[int, TaskAssignment] = {}
+    for i in range(n, 0, -1):  # backward: task n first
+        vector = state.best_candidate(stats)
+        proc, start = state.commit(vector)
+        placements[i] = TaskAssignment(i, proc, start, CommVector(vector))
+        if stats is not None:
+            stats.tasks_placed += 1
+    shift = -placements[1].first_emission
+    schedule = Schedule(
+        chain, {i: a.shifted(shift) for i, a in placements.items()}
+    )
+    return schedule
+
+
+def schedule_chain_deadline(
+    chain: Chain,
+    t_lim: Time,
+    n: Optional[int] = None,
+    *,
+    stats: Optional[ChainRunStats] = None,
+) -> Schedule:
+    """Deadline variant (§7): schedule as many tasks as possible (at most
+    ``n`` if given) so that everything completes by ``t_lim``.
+
+    No final time shift is applied — emission times are absolute in
+    ``[0, t_lim]`` so the spider algorithm can reuse them directly.  The
+    returned schedule has its tasks renumbered 1..n' in emission order, and
+    satisfies the *suffix property* (Lemma 2 / Lemma 4): its last k tasks
+    form exactly the schedule this function returns when capped at k tasks.
+    """
+    state = _BackwardState(chain, t_lim)
+    reverse_placements: list[tuple[int, Time, tuple[Time, ...]]] = []
+    limit = n if n is not None else _task_upper_bound(chain, t_lim)
+    while len(reverse_placements) < limit:
+        vector = state.best_candidate(stats)
+        if vector[0] < 0:  # the ≺-greatest candidate maximises C₁ first
+            break
+        proc, start = state.commit(vector)
+        reverse_placements.append((proc, start, vector))
+        if stats is not None:
+            stats.tasks_placed += 1
+    total = len(reverse_placements)
+    placements = {
+        total - idx: TaskAssignment(
+            total - idx, proc, start, CommVector(vector)
+        )
+        for idx, (proc, start, vector) in enumerate(reverse_placements)
+    }
+    return Schedule(chain, placements)
+
+
+def _task_upper_bound(chain: Chain, t_lim: Time) -> int:
+    """A safe cap on how many tasks fit in ``t_lim`` (for the unbounded
+    deadline variant): the master's port pushes at most one task per ``c₁``
+    and at least ``c₁ + w`` must remain for the last task on any processor."""
+    if t_lim < chain.c[0] + min(chain.w):
+        return 0
+    return int(t_lim // chain.c[0]) + 1 if chain.c[0] > 0 else 10**9
+
+
+def chain_makespan(chain: Chain, n: int) -> Time:
+    """Makespan of the optimal schedule (convenience wrapper)."""
+    return schedule_chain(chain, n).makespan
+
+
+def max_tasks_within(chain: Chain, t_lim: Time) -> int:
+    """Maximum number of tasks completable on ``chain`` within ``t_lim``."""
+    return schedule_chain_deadline(chain, t_lim).n_tasks

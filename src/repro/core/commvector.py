@@ -1,0 +1,133 @@
+"""Communication vectors and their total order (Definition 3 of the paper).
+
+A *communication vector* for a task executed on processor ``k`` of a chain is
+the tuple ``(C_1, ..., C_k)`` of emission times: ``C_j`` is the time at which
+the message carrying the task starts travelling on link ``j`` (from node
+``j-1`` to node ``j``; node 0 is the master).
+
+Definition 3 orders two vectors ``A`` (length ``i``) and ``B`` (length ``j``):
+
+* if some position ``k <= min(i, j)`` differs, the first differing position
+  decides — the vector with the *smaller* emission time there is inferior;
+* if one is a prefix of the other, the *longer* vector is inferior.
+
+Hence "greater" means "emits as late as possible, and on ties prefers the
+processor closest to the master".  The backward greedy algorithm always picks
+the ≺-greatest candidate vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from .types import Time
+
+
+@dataclass(frozen=True, slots=True)
+class CommVector:
+    """Immutable communication vector ``(C_1, ..., C_k)``.
+
+    ``times[j]`` (0-based) is the paper's ``C_{j+1}``: the emission time on
+    link ``j+1``.  The vector length equals the index of the processor the
+    task is executed on (processors are numbered from 1, master side first).
+    """
+
+    times: tuple[Time, ...]
+
+    def __init__(self, times: Iterable[Time]):
+        object.__setattr__(self, "times", tuple(times))
+        if len(self.times) == 0:
+            raise ValueError("a communication vector cannot be empty")
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[Time]:
+        return iter(self.times)
+
+    def __getitem__(self, link: int) -> Time:
+        """1-based access mirroring the paper's ``C_j`` notation."""
+        if not 1 <= link <= len(self.times):
+            raise IndexError(f"link index {link} out of range 1..{len(self.times)}")
+        return self.times[link - 1]
+
+    # -- Definition 3 order -------------------------------------------------
+
+    def precedes(self, other: "CommVector") -> bool:
+        """``self ≺ other`` per Definition 3 (strict)."""
+        return _precedes(self.times, other.times)
+
+    def __lt__(self, other: "CommVector") -> bool:  # enables max()/sorted()
+        return self.precedes(other)
+
+    def __le__(self, other: "CommVector") -> bool:
+        return self.times == other.times or self.precedes(other)
+
+    def __gt__(self, other: "CommVector") -> bool:
+        return other.precedes(self)
+
+    def __ge__(self, other: "CommVector") -> bool:
+        return self.times == other.times or other.precedes(self)
+
+    # -- helpers ------------------------------------------------------------
+
+    @property
+    def processor(self) -> int:
+        """Index (1-based) of the target processor: the vector's length."""
+        return len(self.times)
+
+    @property
+    def first_emission(self) -> Time:
+        """``C_1`` — when the master starts sending the task."""
+        return self.times[0]
+
+    def shifted(self, delta: Time) -> "CommVector":
+        """Return a copy with every emission time shifted by ``delta``."""
+        return CommVector(t + delta for t in self.times)
+
+    def suffix(self, start_link: int) -> "CommVector":
+        """The sub-vector ``(C_start, ..., C_k)`` (1-based), used by the
+        sub-chain invariance of Lemma 2."""
+        if not 1 <= start_link <= len(self.times):
+            raise IndexError(f"link index {start_link} out of range")
+        return CommVector(self.times[start_link - 1:])
+
+    def is_nondecreasing_with_latencies(self, latencies: Sequence[Time]) -> bool:
+        """Check property (1) of Definition 1 along this vector:
+        ``C_j + c_j <= C_{j+1}`` for every hop, ``latencies[j-1] = c_j``."""
+        for j in range(len(self.times) - 1):
+            if self.times[j] + latencies[j] > self.times[j + 1]:
+                return False
+        return True
+
+
+def _precedes(a: Sequence[Time], b: Sequence[Time]) -> bool:
+    """Strict ``a ≺ b`` on raw tuples (Definition 3)."""
+    la, lb = len(a), len(b)
+    for k in range(min(la, lb)):
+        if a[k] != b[k]:
+            return a[k] < b[k]
+    # equal on the common prefix: the longer vector is inferior
+    return la > lb
+
+
+def greatest(vectors: Iterable[CommVector]) -> CommVector:
+    """Return the ≺-greatest vector of a non-empty iterable.
+
+    The order of Definition 3 is total on vectors of *distinct lengths* and on
+    vectors that differ somewhere, which covers the candidate sets built by
+    the chain algorithm (one candidate per target processor, all of distinct
+    lengths).  Ties (identical vectors) resolve to the first seen.
+    """
+    it = iter(vectors)
+    try:
+        best = next(it)
+    except StopIteration:
+        raise ValueError("greatest() of empty candidate set") from None
+    for v in it:
+        if best.precedes(v):
+            best = v
+    return best

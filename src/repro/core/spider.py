@@ -1,0 +1,220 @@
+"""The spider algorithm (§7 of the paper) — optimal on spider graphs.
+
+Pipeline, exactly as the paper's five-line summary::
+
+    (1) Given Tlim, n and a spider
+    (2) For each chain of the spider: compute n, C, P and T   (chain §3/§7)
+    (3) Create the associated fork graph                       (Fig. 7)
+    (4) Compute the optimal schedule on the fork graph         (§6, ref [2])
+    (5) Revert to a spider schedule                            (Lemma 3)
+
+Each leg is first scheduled alone with the deadline variant of the chain
+algorithm; every placed task ``i`` (first-link emission ``C¹_i``) becomes a
+virtual single-task slave ``(c₁, Tlim − C¹_i − c₁)`` of a fork graph rooted
+at the master.  The fork allocator selects which slaves run; reverting keeps,
+for each leg, the suffix schedule with as many tasks as the fork accepted
+(Lemma 2/4 suffix property), with first-link emissions overridden by the
+fork's EDF serialisation (always earlier, Lemma 3 — so every downstream time
+of the leg schedule stays feasible).
+
+Theorem 3 proves the construction optimal in the number of tasks within
+``Tlim``; makespan minimisation is recovered by monotone search over
+``Tlim`` (exact integer bisection on integral platforms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..platforms.spider import Spider
+from .chain import schedule_chain
+# the fast path is bit-identical to the reference (asserted by ~180
+# hypothesis cases in tests/test_chain_fast.py), so the spider pipeline uses
+# it for its inner per-leg runs: O(n·p) per leg instead of O(n·p²).
+from .chain_fast import schedule_chain_deadline_fast as schedule_chain_deadline
+from .commvector import CommVector
+from .fork import Allocation, Allocator, VirtualSlave, _ALLOCATORS, _edf_emissions
+from .schedule import Schedule, TaskAssignment
+from .types import PlatformError, Time
+
+
+@dataclass
+class SpiderDeadlineResult:
+    """Outcome of one deadline run: the schedule plus the intermediate
+    artefacts (leg schedules, fork nodes, allocation) so experiments can
+    inspect the transformation — this is what Fig. 7 depicts."""
+
+    schedule: Schedule
+    t_lim: Time
+    leg_schedules: dict[int, Schedule]
+    fork_nodes: list[VirtualSlave]
+    allocation: Allocation
+
+    @property
+    def n_tasks(self) -> int:
+        return self.schedule.n_tasks
+
+
+def spider_schedule_deadline(
+    spider: Spider,
+    t_lim: Time,
+    n: Optional[int] = None,
+    *,
+    allocator: Allocator = "greedy",
+) -> SpiderDeadlineResult:
+    """Schedule as many tasks as possible (at most ``n``) on ``spider``
+    completing by ``t_lim``.  Optimal in task count (Theorem 3)."""
+    if t_lim < 0:
+        raise PlatformError(f"Tlim must be >= 0, got {t_lim}")
+
+    # (2) per-leg chain schedules within the deadline
+    leg_schedules: dict[int, Schedule] = {}
+    fork_nodes: list[VirtualSlave] = []
+    for leg_idx in range(1, spider.arity + 1):
+        leg = spider.leg(leg_idx)
+        leg_sched = schedule_chain_deadline(leg, t_lim, n)
+        leg_schedules[leg_idx] = leg_sched
+        c1 = leg.latency(1)
+        # (3) one virtual single-task slave per placed task
+        for t in leg_sched.tasks():
+            emission = leg_sched[t].first_emission
+            fork_nodes.append(
+                VirtualSlave(c=c1, work=t_lim - emission - c1, tag=(leg_idx, t))
+            )
+
+    # (4) allocate the master's port over the fork nodes
+    alloc = _ALLOCATORS[allocator](fork_nodes, t_lim)
+    accepted = list(alloc.accepted)
+    if n is not None and len(accepted) > n:
+        accepted = sorted(accepted, key=lambda s: (s.work, s.c))[:n]
+
+    # normalise: per leg keep the count, mapped to the *loosest* (smallest
+    # virtual work = latest leg task) nodes, so accepted nodes are exactly
+    # the suffix tasks of each leg (exchange-safe: smaller work = looser
+    # deadline, so feasibility is preserved).
+    per_leg_count: dict[int, int] = {}
+    for s in accepted:
+        leg_idx, _task = s.tag
+        per_leg_count[leg_idx] = per_leg_count.get(leg_idx, 0) + 1
+    normalised: list[VirtualSlave] = []
+    for leg_idx, count in per_leg_count.items():
+        leg_nodes = sorted(
+            (s for s in fork_nodes if s.tag[0] == leg_idx),
+            key=lambda s: s.work,
+        )
+        normalised.extend(leg_nodes[:count])
+    accepted, emissions = _edf_emissions(normalised, t_lim)
+    alloc = Allocation(t_lim, accepted, emissions, alloc.rejected)
+
+    # (5) revert to a spider schedule
+    schedule = _revert(spider, t_lim, per_leg_count, alloc, n)
+    return SpiderDeadlineResult(schedule, t_lim, leg_schedules, fork_nodes, alloc)
+
+
+def _revert(
+    spider: Spider,
+    t_lim: Time,
+    per_leg_count: dict[int, int],
+    alloc: Allocation,
+    n: Optional[int],
+) -> Schedule:
+    """Lemma 3: map accepted fork nodes back to physical leg schedules."""
+    assignments: list[TaskAssignment] = []
+    for leg_idx, count in sorted(per_leg_count.items()):
+        if count == 0:
+            continue
+        leg = spider.leg(leg_idx)
+        # suffix schedule with exactly `count` tasks (same absolute times as
+        # the last `count` tasks of the full run — Lemma 2)
+        leg_sched = schedule_chain_deadline(leg, t_lim, count)
+        assert leg_sched.n_tasks == count, "suffix property violated"
+        # fork emissions for this leg, ascending == leg task order 1..count
+        # (task 1 of the suffix schedule has the largest virtual work, hence
+        # the earliest deadline, hence the earliest EDF emission)
+        leg_emissions = sorted(
+            emit
+            for slave, emit in zip(alloc.accepted, alloc.emissions)
+            if slave.tag[0] == leg_idx
+        )
+        for t, fork_emit in zip(leg_sched.tasks(), leg_emissions):
+            a = leg_sched[t]
+            times = list(a.comms.times)
+            assert fork_emit <= times[0] + 1e-12, (
+                "fork emission must not be later than the leg's (Lemma 3)"
+            )
+            times[0] = fork_emit
+            proc = (leg_idx, a.processor)
+            assignments.append(
+                TaskAssignment(0, proc, a.start, CommVector(times))
+            )
+    # global task ids in emission order (the paper's WLOG convention)
+    assignments.sort(key=lambda a: (a.first_emission, str(a.processor)))
+    sched = Schedule(spider)
+    for i, a in enumerate(assignments, start=1):
+        sched.add(TaskAssignment(i, a.processor, a.start, a.comms))
+    if n is not None and sched.n_tasks > n:  # pragma: no cover - capped above
+        raise PlatformError("internal error: task budget exceeded")
+    return sched
+
+
+def spider_max_tasks(
+    spider: Spider, t_lim: Time, *, allocator: Allocator = "greedy"
+) -> int:
+    """Maximum number of tasks completable on ``spider`` by ``t_lim``."""
+    return spider_schedule_deadline(spider, t_lim, allocator=allocator).n_tasks
+
+
+def spider_schedule(
+    spider: Spider, n: int, *, allocator: Allocator = "greedy"
+) -> Schedule:
+    """Optimal-makespan schedule of ``n`` tasks on a spider.
+
+    Monotone search over ``Tlim``: integer bisection on integral platforms
+    (exact — the optimum is an integer because exhaustive ASAP optima are),
+    epsilon bisection otherwise.  Single-leg spiders shortcut to the chain
+    algorithm (identical results; asserted in tests).
+    """
+    if n < 1:
+        raise PlatformError(f"need n >= 1 tasks, got {n}")
+    if spider.is_chain():
+        chain_sched = schedule_chain(spider.leg(1), n)
+        return _lift_chain_schedule(spider, chain_sched)
+    lo = min(
+        leg.route_latency(i) + leg.work(i)
+        for leg in spider
+        for i in range(1, leg.p + 1)
+    )
+    hi = spider.t_infinity(n)
+    if spider.is_integer():
+        lo_i, hi_i = int(lo), int(hi)
+        while lo_i < hi_i:
+            mid = (lo_i + hi_i) // 2
+            if spider_max_tasks(spider, mid, allocator=allocator) >= n:
+                hi_i = mid
+            else:
+                lo_i = mid + 1
+        return spider_schedule_deadline(spider, hi_i, n, allocator=allocator).schedule
+    flo, fhi = float(lo), float(hi)
+    for _ in range(100):
+        mid = (flo + fhi) / 2
+        if spider_max_tasks(spider, mid, allocator=allocator) >= n:
+            fhi = mid
+        else:
+            flo = mid
+    return spider_schedule_deadline(spider, fhi, n, allocator=allocator).schedule
+
+
+def spider_makespan(
+    spider: Spider, n: int, *, allocator: Allocator = "greedy"
+) -> Time:
+    """Minimum makespan for ``n`` tasks on ``spider``."""
+    return spider_schedule(spider, n, allocator=allocator).makespan
+
+
+def _lift_chain_schedule(spider: Spider, chain_sched: Schedule) -> Schedule:
+    """Re-address a chain schedule as a one-leg spider schedule."""
+    sched = Schedule(spider)
+    for a in chain_sched:
+        sched.add(TaskAssignment(a.task, (1, a.processor), a.start, a.comms))
+    return sched

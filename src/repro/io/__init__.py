@@ -1,0 +1,25 @@
+"""Serialisation helpers (JSON platforms/schedules)."""
+
+from .json_io import (
+    SCHEMA_VERSION,
+    load_platform,
+    load_schedule,
+    platform_from_dict,
+    platform_to_dict,
+    save_platform,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "load_platform",
+    "load_schedule",
+    "platform_from_dict",
+    "platform_to_dict",
+    "save_platform",
+    "save_schedule",
+    "schedule_from_dict",
+    "schedule_to_dict",
+]

@@ -1,0 +1,71 @@
+"""Versioned JSON (de)serialisation of platforms, schedules and traces.
+
+Plain-JSON on purpose: instances generated for the experiments can be
+archived next to the results, diffed, and reloaded bit-exactly (integer
+platforms stay integers through the round trip).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping, Union
+
+from ..core.schedule import Schedule
+from ..core.types import ReproError
+from ..platforms.chain import Chain
+from ..platforms.spider import Spider
+from ..platforms.star import Star
+from ..platforms.tree import Tree
+
+SCHEMA_VERSION = 1
+
+_KINDS = {
+    "chain": Chain.from_dict,
+    "star": Star.from_dict,
+    "spider": Spider.from_dict,
+    "tree": Tree.from_dict,
+}
+
+Platform = Union[Chain, Star, Spider, Tree]
+
+
+def platform_to_dict(platform: Platform) -> dict[str, Any]:
+    return {"schema": SCHEMA_VERSION, **platform.to_dict()}
+
+
+def platform_from_dict(d: Mapping[str, Any]) -> Platform:
+    kind = d.get("kind")
+    try:
+        loader = _KINDS[kind]
+    except KeyError:
+        raise ReproError(f"unknown platform kind {kind!r}") from None
+    return loader(d)
+
+
+def save_platform(platform: Platform, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(platform_to_dict(platform), indent=2))
+    return path
+
+
+def load_platform(path: str | Path) -> Platform:
+    return platform_from_dict(json.loads(Path(path).read_text()))
+
+
+def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
+    return {"schema": SCHEMA_VERSION, **schedule.to_dict()}
+
+
+def schedule_from_dict(d: Mapping[str, Any]) -> Schedule:
+    return Schedule.from_dict(d)
+
+
+def save_schedule(schedule: Schedule, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(schedule_to_dict(schedule), indent=2))
+    return path
+
+
+def load_schedule(path: str | Path) -> Schedule:
+    return schedule_from_dict(json.loads(Path(path).read_text()))

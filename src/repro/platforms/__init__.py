@@ -1,0 +1,27 @@
+"""Platform models: chains, stars (forks), spiders and general trees.
+
+The paper's platforms are abstract graphs whose edges carry per-task link
+latencies ``c_i`` and whose nodes carry per-task processing times ``w_i``.
+This package provides immutable platform classes with validation, structural
+conversions between them, named presets (including the reconstruction of the
+paper's worked example), and seeded random generators for the experiments.
+"""
+
+from .spec import ProcessorSpec
+from .chain import Chain, as_chain
+from .star import Star
+from .spider import Spider
+from .tree import Tree, ROOT
+from . import generators, presets
+
+__all__ = [
+    "ProcessorSpec",
+    "Chain",
+    "as_chain",
+    "Star",
+    "Spider",
+    "Tree",
+    "ROOT",
+    "generators",
+    "presets",
+]

@@ -1,0 +1,58 @@
+"""Named platform instances, including the paper's worked example.
+
+The HAL scan of the paper garbles the labels of Fig. 2; DESIGN.md §2 explains
+how the instance is reconstructed from Fig. 7 (fork node processing times
+``{3, 6, 8, 10, 12}`` with all links at ``c₁ = 2`` and node value
+``Tlim − C¹ − c₁``).  These presets make the reconstruction a first-class,
+testable artefact.
+"""
+
+from __future__ import annotations
+
+from .chain import Chain
+from .spider import Spider
+from .star import Star
+
+#: Number of tasks in the paper's worked example (Figs. 2 and 7).
+PAPER_FIG2_TASKS = 5
+
+#: Makespan of the optimal schedule of Fig. 2.
+PAPER_FIG2_MAKESPAN = 14
+
+#: Fork-node processing times shown in Fig. 7 (single-task slaves).
+PAPER_FIG7_NODE_TIMES = (3, 6, 8, 10, 12)
+
+#: Common link latency of the Fig. 7 fork (the chain's first link).
+PAPER_FIG7_LINK = 2
+
+
+def paper_fig2_chain() -> Chain:
+    """The two-processor chain of the paper's Fig. 2: c=(2,3), w=(3,5)."""
+    return Chain(c=(2, 3), w=(3, 5))
+
+
+def paper_fig5_spider() -> Spider:
+    """A small spider in the spirit of Fig. 5: three legs of depths 2/1/2."""
+    return Spider(
+        [
+            Chain(c=(2, 3), w=(3, 5)),  # the Fig. 2 chain as one leg
+            Chain(c=(1,), w=(4,)),
+            Chain(c=(3, 2), w=(2, 2)),
+        ]
+    )
+
+
+def bus_star(k: int, c: int = 2, w_fast: int = 3, w_slow: int = 8) -> Star:
+    """Ref [10]'s bus: homogeneous links, heterogeneous CPUs (alternating)."""
+    return Star([(c, w_fast if i % 2 == 0 else w_slow) for i in range(k)])
+
+
+def seti_like_spider() -> Spider:
+    """A volunteer-computing flavoured spider: a few fast LAN legs and many
+    slow DSL-ish single-node legs (the SETI@home motivation of §1)."""
+    legs = [
+        Chain(c=(1, 1, 1), w=(4, 4, 4)),   # lab cluster behind a fast link
+        Chain(c=(1, 2), w=(3, 6)),          # departmental machines
+    ]
+    legs += [Chain(c=(5,), w=(7 + i,)) for i in range(4)]  # home volunteers
+    return Spider(legs)

@@ -1,0 +1,68 @@
+"""Elementary platform building block: a processor behind a link.
+
+Every worker node in the paper's model is fully described by the pair
+``(c, w)``: the latency of its *incoming* link and its per-task processing
+time.  The master itself holds the tasks and (in the chain/spider model of the
+paper) does not compute; a "master that computes" is modelled by a chain whose
+first worker has ``c = 0`` — see :func:`repro.platforms.chain.Chain.with_computing_master`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..core.types import PlatformError, Time
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessorSpec:
+    """One worker: incoming-link latency ``c`` and processing time ``w``.
+
+    Both values must be positive (``c == 0`` is tolerated only through the
+    explicit ``allow_zero_latency`` escape hatch used to model a computing
+    master, because a zero-latency link degenerates condition (4) of
+    Definition 1 into a no-op for that link).
+    """
+
+    c: Time
+    w: Time
+
+    def __post_init__(self) -> None:
+        validate_cw(self.c, self.w)
+
+    @property
+    def m(self) -> Time:
+        """``max(c, w)`` — the per-task cadence of the node once saturated.
+
+        This is the paper's ``m_i`` (Fig. 6): a worker kept busy can absorb at
+        most one task every ``max(c_i, w_i)`` time units, whichever of its
+        link or its CPU is the bottleneck.
+        """
+        return self.c if self.c >= self.w else self.w
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"c": self.c, "w": self.w}
+
+    @staticmethod
+    def from_dict(d: Mapping[str, Any]) -> "ProcessorSpec":
+        return ProcessorSpec(d["c"], d["w"])
+
+
+def validate_cw(c: Time, w: Time, *, allow_zero_latency: bool = False) -> None:
+    """Validate one ``(c, w)`` pair; raise :class:`PlatformError` if bad.
+
+    Any real number type works — int (exact, the default), float, or
+    ``fractions.Fraction`` (exact rationals) — but not bool.
+    """
+    import numbers
+
+    for name, v in (("c", c), ("w", w)):
+        if isinstance(v, bool) or not isinstance(v, numbers.Real):
+            raise PlatformError(f"{name} must be a number, got {v!r}")
+        if v != v or v == float("inf") or v == float("-inf"):
+            raise PlatformError(f"{name} must be finite, got {v!r}")
+    if w <= 0:
+        raise PlatformError(f"processing time w must be > 0, got {w!r}")
+    if c < 0 or (c == 0 and not allow_zero_latency):
+        raise PlatformError(f"link latency c must be > 0, got {c!r}")

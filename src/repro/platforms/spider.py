@@ -1,0 +1,102 @@
+"""Spider graphs (Fig. 5 of the paper).
+
+A *spider* is a tree in which only the master (the root) may have arity
+greater than 2 — equivalently, the root carries a bundle of disjoint
+*legs*, each leg being a chain hanging off the master.  Processors inside a
+leg are addressed by ``(leg_index, position)`` with both indices 1-based.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping
+
+from ..core.types import PlatformError, Time
+from .chain import Chain
+from .star import Star
+from .spec import ProcessorSpec
+
+
+@dataclass(frozen=True)
+class Spider:
+    """A master with ``k`` chain-shaped legs."""
+
+    legs: tuple[Chain, ...]
+
+    def __init__(self, legs: Iterable[Chain]):
+        legs_t = tuple(legs)
+        if not legs_t:
+            raise PlatformError("spider must have at least one leg")
+        for i, leg in enumerate(legs_t, start=1):
+            if not isinstance(leg, Chain):
+                raise PlatformError(f"leg {i} is not a Chain: {leg!r}")
+        object.__setattr__(self, "legs", legs_t)
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        """Number of legs (children of the master)."""
+        return len(self.legs)
+
+    @property
+    def total_processors(self) -> int:
+        return sum(leg.p for leg in self.legs)
+
+    def __iter__(self) -> Iterator[Chain]:
+        return iter(self.legs)
+
+    def leg(self, i: int) -> Chain:
+        """1-based leg accessor."""
+        if not 1 <= i <= self.arity:
+            raise PlatformError(f"leg index {i} out of range 1..{self.arity}")
+        return self.legs[i - 1]
+
+    def processor(self, leg: int, pos: int) -> ProcessorSpec:
+        return self.leg(leg).spec(pos)
+
+    def is_chain(self) -> bool:
+        return self.arity == 1
+
+    def is_star(self) -> bool:
+        return all(leg.p == 1 for leg in self.legs)
+
+    def as_star(self) -> Star:
+        """View a 1-deep spider as a Star (raises otherwise)."""
+        if not self.is_star():
+            raise PlatformError("spider has legs deeper than 1; not a star")
+        return Star(leg.spec(1) for leg in self.legs)
+
+    @staticmethod
+    def from_star(star: Star) -> "Spider":
+        return Spider(Chain([ch.c], [ch.w]) for ch in star)
+
+    @staticmethod
+    def from_chain(chain: Chain) -> "Spider":
+        return Spider([chain])
+
+    def t_infinity(self, n: int) -> Time:
+        """A safe horizon: all ``n`` tasks on the single best first-hop worker.
+
+        Any feasible schedule for ``n`` tasks fits within
+        ``min_leg T∞(leg, n)``, since the one-leg schedule is feasible for the
+        spider (other legs stay idle).
+        """
+        return min(leg.t_infinity(n) for leg in self.legs)
+
+    def is_integer(self) -> bool:
+        return all(leg.is_integer() for leg in self.legs)
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": "spider", "legs": [leg.to_dict() for leg in self.legs]}
+
+    @staticmethod
+    def from_dict(d: Mapping[str, Any]) -> "Spider":
+        if d.get("kind") != "spider":
+            raise PlatformError(f"not a spider payload: {d.get('kind')!r}")
+        return Spider(Chain.from_dict(leg) for leg in d["legs"])
+
+    def __repr__(self) -> str:
+        return f"Spider({list(self.legs)!r})"

@@ -1,0 +1,74 @@
+"""Star (fork) graphs: a master directly connected to ``k`` workers.
+
+This is the platform of Beaumont et al. [2] that the paper's §6 builds on.  A
+star is the special case of a spider whose legs all have length 1, but it
+gets its own class because the fork algorithm manipulates *virtual single-task
+slaves* (Fig. 6 of the paper) that no longer correspond to physical chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping
+
+from ..core.types import PlatformError, Time
+from .spec import ProcessorSpec
+
+
+@dataclass(frozen=True)
+class Star:
+    """A master with ``k`` children, child ``i`` being ``(c_i, w_i)``."""
+
+    children: tuple[ProcessorSpec, ...]
+
+    def __init__(self, children: Iterable[ProcessorSpec | tuple[Time, Time]]):
+        specs: list[ProcessorSpec] = []
+        for ch in children:
+            specs.append(ch if isinstance(ch, ProcessorSpec) else ProcessorSpec(*ch))
+        if not specs:
+            raise PlatformError("star must have at least one child")
+        object.__setattr__(self, "children", tuple(specs))
+
+    @property
+    def arity(self) -> int:
+        return len(self.children)
+
+    def __len__(self) -> int:
+        return len(self.children)
+
+    def __iter__(self) -> Iterator[ProcessorSpec]:
+        return iter(self.children)
+
+    def child(self, i: int) -> ProcessorSpec:
+        """1-based child accessor."""
+        if not 1 <= i <= self.arity:
+            raise PlatformError(f"child index {i} out of range 1..{self.arity}")
+        return self.children[i - 1]
+
+    def max_tasks_bound(self, t_lim: Time) -> int:
+        """Upper bound on tasks doable in ``t_lim``: every child saturated.
+
+        Child ``i`` can finish at most ``floor((t_lim - c_i - w_i)/m_i) + 1``
+        tasks (its q-th-from-last task needs ``c_i + w_i + (q-1)·m_i`` time),
+        and the master's port can push at most ``floor(t_lim / min c_i)``
+        messages.  Used to bound the virtual expansion of the fork algorithm.
+        """
+        per_child = 0
+        for ch in self.children:
+            slack = t_lim - ch.c - ch.w
+            if slack >= 0:
+                per_child += int(slack // ch.m) + 1
+        port = int(t_lim // min(ch.c for ch in self.children)) if t_lim > 0 else 0
+        return min(per_child, port) if per_child else 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": "star", "children": [ch.to_dict() for ch in self.children]}
+
+    @staticmethod
+    def from_dict(d: Mapping[str, Any]) -> "Star":
+        if d.get("kind") != "star":
+            raise PlatformError(f"not a star payload: {d.get('kind')!r}")
+        return Star(ProcessorSpec.from_dict(ch) for ch in d["children"])
+
+    def __repr__(self) -> str:
+        return f"Star({[(ch.c, ch.w) for ch in self.children]})"

@@ -1,0 +1,181 @@
+"""General trees of heterogeneous processors.
+
+The paper's long-term goal (§8) is scheduling on arbitrary trees "by covering
+those graphs with simpler structures".  This module provides the tree
+substrate: a rooted tree whose root is the master and where every non-root
+node ``v`` carries the latency ``c(v)`` of its incoming link and its
+processing time ``w(v)``.  It supports structural queries (is it a chain /
+star / spider?), conversion to the dedicated platform classes, and the leg
+decompositions used by the spider-cover heuristic in
+:mod:`repro.trees.heuristic`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+import networkx as nx
+
+from ..core.types import PlatformError, Time
+from .chain import Chain
+from .spec import validate_cw
+from .spider import Spider
+from .star import Star
+
+#: Conventional name of the master node.
+ROOT = 0
+
+
+@dataclass
+class Tree:
+    """Rooted tree platform.  Nodes are integers, ``ROOT`` (0) is the master.
+
+    Construction takes ``edges``: an iterable of ``(parent, child, c, w)``
+    tuples, giving for each non-root node its parent, the latency of the link
+    from the parent and its processing time.
+    """
+
+    graph: nx.DiGraph = field(repr=False)
+
+    def __init__(self, edges: Iterable[tuple[int, int, Time, Time]]):
+        g = nx.DiGraph()
+        g.add_node(ROOT)
+        for parent, child, c, w in edges:
+            if child == ROOT:
+                raise PlatformError("the master (node 0) cannot have an incoming link")
+            if g.has_node(child) and g.in_degree(child) > 0:
+                raise PlatformError(f"node {child} has two parents")
+            try:
+                validate_cw(c, w)
+            except PlatformError as exc:
+                raise PlatformError(f"node {child}: {exc}") from None
+            g.add_edge(parent, child, c=c)
+            g.nodes[child]["w"] = w
+        if g.number_of_nodes() < 2:
+            raise PlatformError("tree must contain at least one worker")
+        if not nx.is_arborescence(g):
+            raise PlatformError("edges do not form a tree rooted at the master")
+        self.graph = g
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def workers(self) -> list[int]:
+        """All non-root nodes, in BFS order from the root (deterministic)."""
+        return [v for v in nx.bfs_tree(self.graph, ROOT) if v != ROOT]
+
+    @property
+    def p(self) -> int:
+        return self.graph.number_of_nodes() - 1
+
+    def parent(self, v: int) -> int:
+        preds = list(self.graph.predecessors(v))
+        if not preds:
+            raise PlatformError(f"node {v} has no parent (is it the root?)")
+        return preds[0]
+
+    def children(self, v: int) -> list[int]:
+        return sorted(self.graph.successors(v))
+
+    def latency(self, v: int) -> Time:
+        """``c(v)``: latency of the link from ``parent(v)`` into ``v``."""
+        return self.graph.edges[self.parent(v), v]["c"]
+
+    def work(self, v: int) -> Time:
+        return self.graph.nodes[v]["w"]
+
+    def route(self, v: int) -> list[int]:
+        """Nodes on the path root → v, excluding the root."""
+        path = [v]
+        while path[-1] != ROOT:
+            path.append(self.parent(path[-1]))
+        path.reverse()
+        return path[1:]
+
+    # -- structure classification ------------------------------------------------
+
+    def is_chain(self) -> bool:
+        return all(self.graph.out_degree(v) <= 1 for v in self.graph)
+
+    def is_star(self) -> bool:
+        return all(self.graph.out_degree(v) == 0 for v in self.workers)
+
+    def is_spider(self) -> bool:
+        """True iff only the root may have arity > 1 (paper §6)."""
+        return all(self.graph.out_degree(v) <= 1 for v in self.workers)
+
+    def to_chain(self) -> Chain:
+        if not self.is_chain():
+            raise PlatformError("tree is not a chain")
+        order = self._chain_order(ROOT)
+        return Chain((self.latency(v) for v in order), (self.work(v) for v in order))
+
+    def to_star(self) -> Star:
+        if not self.is_star():
+            raise PlatformError("tree is not a star")
+        return Star((self.latency(v), self.work(v)) for v in self.children(ROOT))
+
+    def to_spider(self) -> Spider:
+        if not self.is_spider():
+            raise PlatformError("tree is not a spider (a non-root node branches)")
+        legs = []
+        for top in self.children(ROOT):
+            order = self._chain_order(top, include_start=True)
+            legs.append(
+                Chain((self.latency(v) for v in order), (self.work(v) for v in order))
+            )
+        return Spider(legs)
+
+    def _chain_order(self, start: int, include_start: bool = False) -> list[int]:
+        order = [start] if (include_start and start != ROOT) else []
+        v = start
+        while True:
+            nxt = self.children(v)
+            if not nxt:
+                break
+            v = nxt[0]
+            order.append(v)
+        return order
+
+    # -- decompositions -------------------------------------------------------------
+
+    def root_paths(self) -> list[list[int]]:
+        """All root-to-leaf paths (each excluding the root)."""
+        return [self.route(v) for v in self.workers if self.graph.out_degree(v) == 0]
+
+    def path_chain(self, path: list[int]) -> Chain:
+        """The chain induced by a top-down path of nodes (child sequence)."""
+        return Chain((self.latency(v) for v in path), (self.work(v) for v in path))
+
+    # -- serialisation -----------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "tree",
+            "edges": [
+                [u, v, self.graph.edges[u, v]["c"], self.graph.nodes[v]["w"]]
+                for u, v in sorted(self.graph.edges)
+            ],
+        }
+
+    @staticmethod
+    def from_dict(d: Mapping[str, Any]) -> "Tree":
+        if d.get("kind") != "tree":
+            raise PlatformError(f"not a tree payload: {d.get('kind')!r}")
+        return Tree(tuple(e) for e in d["edges"])
+
+    @staticmethod
+    def from_spider(spider: Spider) -> "Tree":
+        edges: list[tuple[int, int, Time, Time]] = []
+        nid = 1
+        for leg in spider:
+            parent = ROOT
+            for i in range(1, leg.p + 1):
+                edges.append((parent, nid, leg.latency(i), leg.work(i)))
+                parent = nid
+                nid += 1
+        return Tree(edges)
+
+    def __repr__(self) -> str:
+        return f"Tree(p={self.p}, spider={self.is_spider()})"

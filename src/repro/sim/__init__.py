@@ -1,0 +1,49 @@
+"""Discrete-event simulation of master-slave platforms.
+
+* :mod:`repro.sim.engine` — the event calendar;
+* :mod:`repro.sim.executor` — replay a static schedule with runtime checks;
+* :mod:`repro.sim.online` — demand-driven / round-robin online policies
+  (the SETI@home-style operation the paper's introduction motivates);
+* :mod:`repro.sim.trace` — traces, utilisation, trace→schedule round-trip.
+"""
+
+from .engine import Simulator
+from .events import Event, EventKind
+from .executor import execute, verify_by_execution
+from .online import (
+    ONLINE_POLICIES,
+    OnlineResult,
+    OnlineState,
+    policy_bandwidth_centric,
+    policy_demand_driven,
+    policy_round_robin,
+    simulate_online,
+)
+from .trace import Trace, trace_to_schedule
+from .faults import (
+    FaultyRunResult,
+    WorkerFailure,
+    assert_trace_exclusive,
+    simulate_with_failures,
+)
+
+__all__ = [
+    "FaultyRunResult",
+    "WorkerFailure",
+    "assert_trace_exclusive",
+    "simulate_with_failures",
+    "Simulator",
+    "Event",
+    "EventKind",
+    "execute",
+    "verify_by_execution",
+    "ONLINE_POLICIES",
+    "OnlineResult",
+    "OnlineState",
+    "policy_bandwidth_centric",
+    "policy_demand_driven",
+    "policy_round_robin",
+    "simulate_online",
+    "Trace",
+    "trace_to_schedule",
+]

@@ -1,0 +1,78 @@
+"""Minimal discrete-event engine (heap-based calendar queue).
+
+Deliberately tiny: a priority queue of timestamped callbacks with a
+deterministic tie-break, enough to drive both the schedule executor and the
+online policies.  No processes/coroutines — handlers schedule further events
+explicitly, which keeps causality auditable in tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..core.types import SimulationError, Time
+
+Handler = Callable[["Simulator"], None]
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: Time
+    priority: int
+    seq: int
+    handler: Handler = field(compare=False)
+
+
+class Simulator:
+    """Run timestamped handlers in (time, priority, FIFO) order."""
+
+    def __init__(self) -> None:
+        self._queue: list[_QueueEntry] = []
+        self._seq = itertools.count()
+        self.now: Time = 0
+        self._running = False
+
+    def at(self, time: Time, handler: Handler, priority: int = 0) -> None:
+        """Schedule ``handler`` at absolute ``time`` (>= now)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time} < now={self.now}"
+            )
+        heapq.heappush(
+            self._queue, _QueueEntry(time, priority, next(self._seq), handler)
+        )
+
+    def after(self, delay: Time, handler: Handler, priority: int = 0) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.at(self.now + delay, handler, priority)
+
+    def run(self, until: Optional[Time] = None, max_events: int = 10_000_000) -> Time:
+        """Drain the queue; returns the time of the last executed event."""
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        try:
+            executed = 0
+            while self._queue:
+                entry = self._queue[0]
+                if until is not None and entry.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self.now = entry.time
+                entry.handler(self)
+                executed += 1
+                if executed > max_events:
+                    raise SimulationError(
+                        f"event budget exceeded ({max_events}); livelock?"
+                    )
+            return self.now
+        finally:
+            self._running = False
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

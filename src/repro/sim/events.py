@@ -1,0 +1,56 @@
+"""Event vocabulary of the master-slave discrete-event simulator.
+
+Four event kinds cover the paper's model: a communication occupies the
+sender's port (and the link) for ``c`` time units; an execution occupies the
+processor for ``w``.  Overlap between a node's send, its receive and its
+computation is allowed — the model's only exclusivities are one send at a
+time per port, one receive at a time per link, one task at a time per CPU.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from ..core.types import Time
+
+
+class EventKind(enum.Enum):
+    SEND_START = "send_start"
+    SEND_END = "send_end"
+    EXEC_START = "exec_start"
+    EXEC_END = "exec_end"
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One timestamped simulator event.
+
+    ``resource`` is the port/link key for SEND events and the processor key
+    for EXEC events; ``task`` is the task id the event concerns; ``info``
+    carries free-form extras (hop index, policy name, ...).
+    """
+
+    time: Time
+    kind: EventKind
+    task: int
+    resource: Hashable
+    info: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def __repr__(self) -> str:
+        return f"Event({self.time}, {self.kind.value}, task={self.task}, at={self.resource!r})"
+
+
+#: deterministic tie-break ordering of simultaneous events: ends fire before
+#: starts (resources free up before new work claims them), then task id.
+_KIND_ORDER = {
+    EventKind.SEND_END: 0,
+    EventKind.EXEC_END: 1,
+    EventKind.SEND_START: 2,
+    EventKind.EXEC_START: 3,
+}
+
+
+def event_sort_key(e: Event) -> tuple:
+    return (e.time, _KIND_ORDER[e.kind], e.task, str(e.resource))

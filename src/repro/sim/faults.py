@@ -1,0 +1,238 @@
+"""Failure injection: volunteer hosts that die mid-run (fail-stop model).
+
+The platforms motivating the paper (SETI@home, the Mersenne search) lose
+workers constantly.  The static model has no failures — this module measures
+what that idealisation hides.  Semantics (classic fail-stop + master-side
+reissue, the behaviour of real volunteer schedulers):
+
+* a failure kills a node at a given time; on trees/spiders everything
+  *downstream* of the dead node becomes unreachable too;
+* work lost with the node — tasks queued, executing, or in flight towards
+  it — is reissued by the master to the survivors (same task id, a new
+  attempt number in the trace);
+* dead processors are removed from the policy's choice set; if every
+  processor dies the run raises :class:`SimulationError`.
+
+Control messages (failure detection) are modelled as instantaneous, like the
+demand signals in :mod:`repro.sim.online` — the substitution is documented
+in DESIGN.md.  The produced trace satisfies the same exclusivity rules as a
+feasible schedule; :func:`assert_trace_exclusive` re-checks them directly
+on the trace (the schedule reconstruction of ``trace_to_schedule`` does not
+apply, since a reissued task legitimately appears twice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from ..core.schedule import ProcKey, adapter_for
+from ..core.types import EPS, SimulationError, Time
+from .engine import Simulator
+from .events import Event, EventKind
+from .online import ONLINE_POLICIES, OnlineState, Policy
+from .trace import Trace
+
+
+@dataclass(frozen=True)
+class WorkerFailure:
+    """Fail-stop of ``processor`` at ``time`` (downstream dies with it)."""
+
+    time: Time
+    processor: ProcKey
+
+
+@dataclass
+class FaultyRunResult:
+    trace: Trace
+    completed: int
+    #: total dispatches (>= n when reissues happened)
+    attempts: int
+    #: tasks lost to failures and reissued
+    reissues: int
+    survivors: list[ProcKey]
+
+    @property
+    def makespan(self) -> Time:
+        return self.trace.makespan
+
+
+def _downstream(adapter: Any, procs: list[ProcKey], dead: ProcKey) -> set[ProcKey]:
+    """Every processor whose route passes through ``dead`` (inclusive)."""
+    out = set()
+    for pr in procs:
+        route_nodes = [adapter.receiver(link) for link in adapter.route(pr)]
+        if dead in route_nodes or pr == dead:
+            out.add(pr)
+    return out
+
+
+def simulate_with_failures(
+    platform: Any,
+    n: int,
+    failures: list[WorkerFailure],
+    policy: Policy | str = "demand_driven",
+) -> FaultyRunResult:
+    """Run ``n`` tasks online while injecting ``failures``.
+
+    Returns the trace plus reissue statistics.  Raises
+    :class:`SimulationError` if the tasks cannot all complete (every
+    processor dead with work remaining).
+    """
+    policy_fn: Policy = ONLINE_POLICIES[policy] if isinstance(policy, str) else policy
+    adapter = adapter_for(platform)
+    all_procs = adapter.processors()
+    master_port: Hashable = adapter.sender(adapter.route(all_procs[0])[0])
+
+    sim = Simulator()
+    trace = Trace()
+    port_free: dict[Hashable, Time] = {}
+    proc_busy: dict[ProcKey, Time] = {}
+    proc_eta: dict[ProcKey, Time] = {}
+    dead_procs: set[ProcKey] = set()
+    dead_nodes: set[Hashable] = set()
+    pending: list[int] = list(range(1, n + 1))
+    attempts = {"count": 0}
+    reissues = {"count": 0}
+    completed: dict[int, bool] = {}
+    dispatched: dict[ProcKey, int] = {pr: 0 for pr in all_procs}
+    done_per_proc: dict[ProcKey, int] = {pr: 0 for pr in all_procs}
+
+    def alive() -> list[ProcKey]:
+        return [pr for pr in all_procs if pr not in dead_procs]
+
+    def lose(task: int) -> None:
+        reissues["count"] += 1
+        pending.append(task)
+        sim.at(sim.now, master_dispatch)
+
+    def deliver(task: int, link: Hashable, rest: list, dest: ProcKey) -> None:
+        port = adapter.sender(link)
+        c = adapter.latency(link)
+        start = max(sim.now, port_free.get(port, 0))
+        port_free[port] = start + c
+
+        def send_start(s: Simulator) -> None:
+            if port in dead_nodes:  # sender died while the message queued
+                lose(task)
+                return
+            trace.record(Event(s.now, EventKind.SEND_START, task, port, {"link": link}))
+            trace.record_interval(("port", port), s.now, s.now + c, task)
+            trace.record_interval(("link", link), s.now, s.now + c, task)
+            s.after(c, arrived)
+
+        def arrived(s: Simulator) -> None:
+            trace.record(Event(s.now, EventKind.SEND_END, task, port, {"link": link}))
+            node = adapter.receiver(link)
+            if node in dead_nodes or dest in dead_procs:
+                lose(task)
+                return
+            if rest:
+                deliver(task, rest[0], rest[1:], dest)
+            else:
+                run(task, dest)
+
+        sim.at(start, send_start, priority=2)
+
+    def run(task: int, proc: ProcKey) -> None:
+        begin = max(sim.now, proc_busy.get(proc, 0))
+        w = adapter.work(proc)
+        proc_busy[proc] = begin + w
+
+        def exec_start(s: Simulator) -> None:
+            if proc in dead_procs:
+                lose(task)
+                return
+            trace.record(Event(s.now, EventKind.EXEC_START, task, proc))
+            trace.record_interval(("proc", proc), s.now, s.now + w, task)
+            s.after(w, exec_end)
+
+        def exec_end(s: Simulator) -> None:
+            if proc in dead_procs:  # died mid-execution: work lost
+                lose(task)
+                return
+            trace.record(Event(s.now, EventKind.EXEC_END, task, proc))
+            completed[task] = True
+            done_per_proc[proc] += 1
+
+        sim.at(begin, exec_start, priority=3)
+
+    def master_dispatch(s: Simulator) -> None:
+        if not pending:
+            return
+        live = alive()
+        if not live:
+            raise SimulationError(
+                f"all processors dead with {len(pending)} tasks remaining"
+            )
+        free_at = port_free.get(master_port, 0)
+        if s.now < free_at:
+            s.at(free_at, master_dispatch)
+            return
+        obs = OnlineState(
+            now=s.now,
+            remaining=len(pending),
+            dispatched=dict(dispatched),
+            completed=dict(done_per_proc),
+            proc_free=dict(proc_eta),
+        )
+        dest = policy_fn(obs, live, adapter)
+        if dest is None or dest in dead_procs:
+            dest = live[0]
+        task = pending.pop(0)
+        attempts["count"] += 1
+        dispatched[dest] += 1
+        route = adapter.route(dest)
+        eta = s.now + sum(adapter.latency(l) for l in route)
+        proc_eta[dest] = max(proc_eta.get(dest, 0), eta) + adapter.work(dest)
+        deliver(task, route[0], list(route[1:]), dest)
+        s.at(port_free[master_port], master_dispatch)
+
+    def schedule_failure(fail: WorkerFailure) -> None:
+        def strike(s: Simulator) -> None:
+            victims = _downstream(adapter, all_procs, fail.processor)
+            dead_procs.update(victims)
+            dead_nodes.add(fail.processor)
+            dead_nodes.update(victims)
+            s.at(s.now, master_dispatch)  # wake the master to reroute
+
+        sim.at(fail.time, strike, priority=0)
+
+    for fail in failures:
+        schedule_failure(fail)
+    sim.at(0, master_dispatch)
+    sim.run()
+
+    if len(completed) != n:
+        # tasks can be stranded if loss happened after the queue drained
+        # and no master wake-up remained; drain explicitly
+        while len(completed) != n and pending:
+            sim.at(sim.now, master_dispatch)
+            sim.run()
+    if len(completed) != n:
+        raise SimulationError(
+            f"only {len(completed)}/{n} tasks completed after failures"
+        )
+    return FaultyRunResult(
+        trace=trace,
+        completed=len(completed),
+        attempts=attempts["count"],
+        reissues=reissues["count"],
+        survivors=alive(),
+    )
+
+
+def assert_trace_exclusive(trace: Trace, eps: float = EPS) -> None:
+    """Check the model's exclusivity rules directly on a trace.
+
+    Unlike the static feasibility checker this works on traces with
+    reissued task ids (a task may appear twice after a failure).
+    """
+    for resource, ivs in trace.busy.items():
+        ordered = sorted(ivs)
+        for (s1, e1, t1), (s2, e2, t2) in zip(ordered, ordered[1:]):
+            if s2 < e1 - eps and e1 > s1 and e2 > s2:
+                raise SimulationError(
+                    f"resource {resource!r}: tasks {t1} and {t2} overlap "
+                    f"([{s1},{e1}) vs [{s2},{e2}))"
+                )

@@ -1,0 +1,17 @@
+"""General-tree scheduling heuristics by spider covering (paper §8)."""
+
+from .heuristic import (
+    SpiderCover,
+    best_path_cover,
+    cover_efficiency,
+    greedy_depth_cover,
+    tree_schedule_by_cover,
+)
+
+__all__ = [
+    "SpiderCover",
+    "best_path_cover",
+    "cover_efficiency",
+    "greedy_depth_cover",
+    "tree_schedule_by_cover",
+]

@@ -1,0 +1,21 @@
+"""Visualisation: ASCII Gantt, SVG Gantt, DOT topology export."""
+
+from .gantt import render_gantt, render_timeline
+from .svg import render_svg, save_svg
+from .dot import platform_to_dot
+from .transformation import (
+    node_expansion_to_dot,
+    star_expansion_to_dot,
+    transformation_to_dot,
+)
+
+__all__ = [
+    "render_gantt",
+    "render_timeline",
+    "render_svg",
+    "save_svg",
+    "platform_to_dot",
+    "node_expansion_to_dot",
+    "star_expansion_to_dot",
+    "transformation_to_dot",
+]

@@ -1,0 +1,61 @@
+"""Graphviz DOT export of platforms — the shape of the paper's Figs. 1/5/6.
+
+Emits plain DOT text (no graphviz dependency): nodes annotated with ``w``,
+edges with ``c``.  Useful for documenting generated platforms in examples
+and for eyeballing random instances.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.types import PlatformError
+from ..platforms.chain import Chain
+from ..platforms.spider import Spider
+from ..platforms.star import Star
+from ..platforms.tree import ROOT, Tree
+
+
+def _esc(s: object) -> str:
+    return str(s).replace('"', '\\"')
+
+
+def platform_to_dot(platform: Any, name: str = "platform") -> str:
+    """Render any platform as a DOT digraph rooted at the master."""
+    lines = [f'digraph "{_esc(name)}" {{', '  rankdir=LR;',
+             '  master [shape=doublecircle,label="M"];']
+    if isinstance(platform, Chain):
+        prev = "master"
+        for i in range(1, platform.p + 1):
+            node = f"p{i}"
+            lines.append(f'  {node} [shape=circle,label="w={_esc(platform.work(i))}"];')
+            lines.append(f'  {prev} -> {node} [label="c={_esc(platform.latency(i))}"];')
+            prev = node
+    elif isinstance(platform, Star):
+        for i, ch in enumerate(platform.children, start=1):
+            node = f"p{i}"
+            lines.append(f'  {node} [shape=circle,label="w={_esc(ch.w)}"];')
+            lines.append(f'  master -> {node} [label="c={_esc(ch.c)}"];')
+    elif isinstance(platform, Spider):
+        for li, leg in enumerate(platform.legs, start=1):
+            prev = "master"
+            for pos in range(1, leg.p + 1):
+                node = f"l{li}p{pos}"
+                lines.append(
+                    f'  {node} [shape=circle,label="w={_esc(leg.work(pos))}"];'
+                )
+                lines.append(
+                    f'  {prev} -> {node} [label="c={_esc(leg.latency(pos))}"];'
+                )
+                prev = node
+    elif isinstance(platform, Tree):
+        for v in platform.workers:
+            lines.append(f'  n{v} [shape=circle,label="w={_esc(platform.work(v))}"];')
+        for v in platform.workers:
+            parent = platform.parent(v)
+            src = "master" if parent == ROOT else f"n{parent}"
+            lines.append(f'  {src} -> n{v} [label="c={_esc(platform.latency(v))}"];')
+    else:
+        raise PlatformError(f"cannot render {type(platform).__name__} as DOT")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""ASCII Gantt charts — the textual rendition of the paper's Fig. 2.
+
+Each resource (send port, link, processor) gets one row; time flows left to
+right, one character per ``resolution`` time units.  Execution cells show
+the task id (mod 10); communication cells use ``=``; buffered waiting (a
+task arrived but its processor is still busy — the *dashed curve* of the
+paper's Fig. 2) is drawn with ``.`` on the processor row.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..core.schedule import Schedule
+from ..core.types import Time
+
+
+def _paint(
+    row: list[str], start: Time, end: Time, ch: str, scale: float, offset: Time
+) -> None:
+    a = int(round((start - offset) / scale))
+    b = int(round((end - offset) / scale))
+    for i in range(a, max(b, a + 1)):
+        if 0 <= i < len(row):
+            row[i] = ch
+
+
+def render_gantt(
+    schedule: Schedule,
+    *,
+    width: int = 78,
+    show_links: bool = True,
+    show_waiting: bool = True,
+) -> str:
+    """Render a schedule as an ASCII Gantt chart.
+
+    ``width`` caps the number of time columns; the resolution adapts so the
+    whole makespan fits.  Returns a multi-line string.
+    """
+    mk = schedule.makespan
+    if schedule.n_tasks == 0 or mk <= 0:
+        return "(empty schedule)"
+    offset: Time = min(0, schedule.earliest_emission)
+    span = float(mk - offset)
+    scale = max(span / width, 1e-9)
+    cols = int(round(span / scale))
+    adapter = schedule.adapter
+
+    rows: list[tuple[str, list[str]]] = []
+
+    if show_links:
+        for link, ivs in sorted(schedule.link_intervals().items(), key=lambda kv: str(kv[0])):
+            row = [" "] * cols
+            for s, e, task in ivs:
+                _paint(row, s, e, "=", scale, offset)
+            rows.append((f"link {link}", row))
+
+    for proc, ivs in sorted(
+        schedule.processor_intervals().items(), key=lambda kv: str(kv[0])
+    ):
+        row = [" "] * cols
+        if show_waiting:
+            for task in schedule.tasks_on(proc):
+                a = schedule[task]
+                route = adapter.route(proc)
+                arrival = a.comms[len(route)] + adapter.latency(route[-1])
+                if a.start > arrival:
+                    _paint(row, arrival, a.start, ".", scale, offset)
+        for s, e, task in ivs:
+            _paint(row, s, e, str(task % 10), scale, offset)
+        rows.append((f"proc {proc}", row))
+
+    label_w = max(len(label) for label, _ in rows)
+    lines = [
+        f"{'time':<{label_w}} |0{'-' * max(cols - len(str(mk)) - 2, 0)}{mk}|"
+    ]
+    for label, row in rows:
+        lines.append(f"{label:<{label_w}} |{''.join(row)}|")
+    lines.append(
+        f"makespan={mk}  tasks={schedule.n_tasks}  "
+        f"counts={_fmt_counts(schedule.task_counts())}"
+    )
+    return "\n".join(lines)
+
+
+def _fmt_counts(counts: dict[Hashable, int]) -> str:
+    items = sorted(counts.items(), key=lambda kv: str(kv[0]))
+    return "{" + ", ".join(f"{k}: {v}" for k, v in items) + "}"
+
+
+def render_timeline(schedule: Schedule) -> str:
+    """One line per task: emissions, arrival, execution window (debugging)."""
+    adapter = schedule.adapter
+    lines = []
+    for a in schedule:
+        route = adapter.route(a.processor)
+        arrival = a.comms[len(route)] + adapter.latency(route[-1])
+        end = a.start + adapter.work(a.processor)
+        lines.append(
+            f"task {a.task}: C={list(a.comms.times)} -> {a.processor!r} "
+            f"arrives {arrival}, runs [{a.start}, {end})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Render the chain→fork transformation (the paper's Figs. 6 and 7).
+
+Two renderers:
+
+* :func:`transformation_to_dot` — the fork graph of single-task slaves that
+  a chain (or a whole spider) expands into at a given ``Tlim``, node labels
+  carrying the virtual processing times (Fig. 7's drawing);
+* :func:`node_expansion_to_dot` — Fig. 6: one physical node ``(c, w)``
+  expanded into its ladder ``(c, w), (c, w+m), ..., (c, w+q·m)``.
+"""
+
+from __future__ import annotations
+
+from ..core.fork import VirtualSlave, expand_star
+from ..core.spider import spider_schedule_deadline
+from ..core.types import Time
+from ..platforms.spec import ProcessorSpec
+from ..platforms.spider import Spider
+from ..platforms.star import Star
+
+
+def _dot_fork(nodes: list[VirtualSlave], name: str) -> str:
+    lines = [
+        f'digraph "{name}" {{',
+        "  rankdir=TB;",
+        '  master [shape=doublecircle,label="M"];',
+    ]
+    for idx, node in enumerate(sorted(nodes, key=lambda s: (s.c, s.work))):
+        nid = f"v{idx}"
+        lines.append(f'  {nid} [shape=circle,label="{node.work}"];')
+        lines.append(f'  master -> {nid} [label="{node.c}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def transformation_to_dot(
+    spider: Spider, t_lim: Time, name: str = "fig7_fork"
+) -> str:
+    """Fig. 7: the fork graph a spider's chain schedules expand into at
+    ``Tlim`` (node values are ``Tlim − C¹ − c₁`` per placed task)."""
+    result = spider_schedule_deadline(spider, t_lim)
+    return _dot_fork(result.fork_nodes, name)
+
+
+def star_expansion_to_dot(star: Star, t_lim: Time, name: str = "fig6_star") -> str:
+    """Fig. 6 applied to a whole star: every child becomes its ladder of
+    single-task slaves (``w + q·max(c, w)``)."""
+    return _dot_fork(expand_star(star, t_lim), name)
+
+
+def node_expansion_to_dot(
+    spec: ProcessorSpec, copies: int, name: str = "fig6_node"
+) -> str:
+    """Fig. 6 for one node: ``(c, w) -> (c, w), (c, w+m), ..``."""
+    nodes = [
+        VirtualSlave(spec.c, spec.w + q * spec.m, tag=q) for q in range(copies)
+    ]
+    return _dot_fork(nodes, name)

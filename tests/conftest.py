@@ -1,0 +1,65 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.platforms.chain import Chain
+from repro.platforms.presets import paper_fig2_chain
+from repro.platforms.spider import Spider
+from repro.platforms.star import Star
+
+
+@pytest.fixture
+def fig2_chain() -> Chain:
+    """The paper's reconstructed Fig. 2 platform."""
+    return paper_fig2_chain()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+# ---------------------------------------------------------------------------
+# hypothesis strategies (integer platforms keep every check exact)
+# ---------------------------------------------------------------------------
+
+#: positive small integers for c/w values
+cw_values = st.integers(min_value=1, max_value=9)
+
+
+@st.composite
+def chains(draw, max_p: int = 5) -> Chain:
+    p = draw(st.integers(min_value=1, max_value=max_p))
+    cs = draw(st.lists(cw_values, min_size=p, max_size=p))
+    ws = draw(st.lists(cw_values, min_size=p, max_size=p))
+    return Chain(cs, ws)
+
+
+@st.composite
+def stars(draw, max_k: int = 4) -> Star:
+    k = draw(st.integers(min_value=1, max_value=max_k))
+    children = draw(
+        st.lists(st.tuples(cw_values, cw_values), min_size=k, max_size=k)
+    )
+    return Star(children)
+
+
+@st.composite
+def spiders(draw, max_legs: int = 3, max_depth: int = 3) -> Spider:
+    n_legs = draw(st.integers(min_value=1, max_value=max_legs))
+    legs = [draw(chains(max_p=max_depth)) for _ in range(n_legs)]
+    return Spider(legs)
+
+
+@st.composite
+def small_spiders(draw) -> Spider:
+    """Spiders small enough for exhaustive cross-checks (≤ 4 processors)."""
+    sp = draw(spiders(max_legs=3, max_depth=2))
+    if sp.total_processors > 4:
+        sp = Spider(list(sp.legs)[:1])
+    return sp

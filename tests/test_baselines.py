@@ -1,0 +1,165 @@
+"""Tests for ASAP semantics, the exhaustive search and forward heuristics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.asap import AsapState, asap_from_sequence, asap_makespan
+from repro.baselines.bruteforce import (
+    enumerate_makespans,
+    optimal_makespan,
+)
+from repro.baselines.heuristics import (
+    ALL_HEURISTICS,
+    bandwidth_greedy,
+    greedy_earliest_completion,
+    greedy_min_makespan,
+    master_only,
+    round_robin,
+)
+from repro.core.chain import chain_makespan
+from repro.core.feasibility import check, is_feasible
+from repro.core.schedule import adapter_for
+from repro.platforms.chain import Chain
+from repro.platforms.spider import Spider
+from repro.platforms.star import Star
+
+from conftest import chains, spiders
+
+
+class TestAsap:
+    def test_single_task_times(self):
+        ch = Chain(c=(2, 3), w=(3, 5))
+        s = asap_from_sequence(ch, [2])
+        assert s[1].comms.times == (0, 2)
+        assert s[1].start == 5 and s.makespan == 10
+
+    def test_pipelining_overlap(self):
+        ch = Chain(c=(2,), w=(3,))
+        s = asap_from_sequence(ch, [1, 1, 1])
+        # comms [0,2],[2,4],[4,6]; execs [2,5],[5,8],[8,11]
+        assert s.makespan == 11
+        assert [a.first_emission for a in s] == [0, 2, 4]
+
+    def test_sequence_order_is_emission_order(self):
+        ch = Chain(c=(1, 1), w=(5, 1))
+        s = asap_from_sequence(ch, [2, 1, 2])
+        emissions = [a.first_emission for a in s]
+        assert emissions == sorted(emissions)
+
+    @given(chains(max_p=4), st.lists(st.integers(1, 4), min_size=1, max_size=7))
+    @settings(max_examples=80, deadline=None)
+    def test_always_feasible(self, ch, raw_seq):
+        seq = [min(d, ch.p) for d in raw_seq]
+        s = asap_from_sequence(ch, seq)
+        assert check(s) == []
+
+    @given(spiders(max_legs=2, max_depth=2), st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_feasible_on_spiders(self, sp, n):
+        procs = adapter_for(sp).processors()
+        seq = [procs[i % len(procs)] for i in range(n)]
+        s = asap_from_sequence(sp, seq)
+        assert check(s) == []
+
+    def test_makespan_shortcut_matches(self):
+        ch = Chain(c=(2, 1), w=(3, 4))
+        seq = [1, 2, 1]
+        assert asap_makespan(ch, seq) == asap_from_sequence(ch, seq).makespan
+
+    def test_peek_does_not_mutate(self):
+        ch = Chain(c=(2,), w=(3,))
+        state = AsapState(adapter_for(ch))
+        before = state.peek_completion(1)
+        state.peek_completion(1)
+        assert state.placed == [] and state.peek_completion(1) == before
+
+    def test_state_copy_is_independent(self):
+        ch = Chain(c=(2,), w=(3,))
+        state = AsapState(adapter_for(ch))
+        clone = state.copy()
+        clone.push(1)
+        assert state.placed == [] and clone.makespan == 5
+
+
+class TestBruteForce:
+    def test_optimal_is_minimum_of_enumeration(self):
+        ch = Chain(c=(2, 3), w=(3, 5))
+        all_mk = [mk for mk, _ in enumerate_makespans(ch, 3)]
+        assert optimal_makespan(ch, 3).makespan == min(all_mk)
+
+    def test_enumeration_size(self):
+        ch = Chain(c=(1, 1), w=(1, 1))
+        assert len(enumerate_makespans(ch, 3)) == 2**3
+
+    def test_enumeration_limit_guard(self):
+        ch = Chain.homogeneous(4, 1, 1)
+        with pytest.raises(ValueError):
+            enumerate_makespans(ch, 12, limit=100)
+
+    def test_result_schedule_feasible(self):
+        star = Star([(1, 2), (2, 1)])
+        res = optimal_makespan(star, 4)
+        assert check(res.schedule) == []
+        assert res.schedule.makespan == res.makespan
+        assert sum(res.counts.values()) == 4
+
+    def test_explored_counts_pruning(self):
+        ch = Chain(c=(1,), w=(1,))
+        res = optimal_makespan(ch, 5)
+        assert res.explored >= 5  # at least the winning path
+
+
+class TestHeuristics:
+    PLATFORMS = [
+        Chain(c=(2, 3), w=(3, 5)),
+        Star([(1, 4), (2, 2), (3, 1)]),
+        Spider([Chain(c=(1, 2), w=(2, 3)), Chain(c=(2,), w=(1,))]),
+    ]
+
+    @pytest.mark.parametrize("name", sorted(ALL_HEURISTICS))
+    @pytest.mark.parametrize("platform", PLATFORMS, ids=["chain", "star", "spider"])
+    def test_feasible_everywhere(self, name, platform):
+        s = ALL_HEURISTICS[name](platform, 6)
+        assert s.n_tasks == 6
+        assert check(s) == []
+
+    @given(chains(max_p=3), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_never_beat_optimal(self, ch, n):
+        opt = chain_makespan(ch, n)
+        for heuristic in ALL_HEURISTICS.values():
+            assert heuristic(ch, n).makespan >= opt
+
+    def test_master_only_uses_one_processor(self):
+        ch = Chain(c=(2, 3), w=(3, 5))
+        s = master_only(ch, 5)
+        assert len(s.task_counts()) == 1
+
+    def test_master_only_matches_t_infinity_when_first_wins(self):
+        ch = Chain(c=(2,), w=(3,))
+        assert master_only(ch, 4).makespan == ch.t_infinity(4)
+
+    def test_round_robin_cycles(self):
+        star = Star([(1, 1), (1, 1), (1, 1)])
+        s = round_robin(star, 6)
+        assert s.task_counts() == {1: 2, 2: 2, 3: 2}
+
+    def test_greedy_mct_prefers_fast_child(self):
+        star = Star([(1, 1), (5, 9)])
+        s = greedy_earliest_completion(star, 4)
+        assert s.task_counts().get(1, 0) >= 3
+
+    def test_greedy_min_makespan_at_least_as_good_as_rr_usually(self):
+        ch = Chain(c=(1, 1, 1), w=(2, 4, 8))
+        n = 8
+        assert greedy_min_makespan(ch, n).makespan <= round_robin(ch, n).makespan
+
+    def test_bandwidth_greedy_prefers_cheap_links(self):
+        star = Star([(1, 3), (9, 3)])
+        s = bandwidth_greedy(star, 4)
+        assert s.task_counts().get(1, 0) >= 3
+
+    def test_zero_tasks(self):
+        ch = Chain(c=(1,), w=(1,))
+        assert round_robin(ch, 0).n_tasks == 0

@@ -1,0 +1,212 @@
+"""Tests of the backward greedy chain algorithm (§3, Theorem 1).
+
+Covers the paper's worked example (Fig. 2) exactly, the algorithm's
+invariants (emission order, feasibility, horizon), the deadline variant
+(§7 rewrite), and the suffix property of Lemma 2.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chain import (
+    ChainRunStats,
+    chain_makespan,
+    max_tasks_within,
+    schedule_chain,
+    schedule_chain_deadline,
+)
+from repro.core.feasibility import check, check_deadline, emission_order, is_feasible
+from repro.core.types import PlatformError
+from repro.platforms.chain import Chain
+from repro.platforms.presets import (
+    PAPER_FIG2_MAKESPAN,
+    PAPER_FIG2_TASKS,
+    paper_fig2_chain,
+)
+
+from conftest import chains
+
+
+class TestPaperFig2:
+    """The paper's worked example, reproduced exactly (experiment E1)."""
+
+    def test_makespan_is_14(self, fig2_chain):
+        assert chain_makespan(fig2_chain, PAPER_FIG2_TASKS) == PAPER_FIG2_MAKESPAN
+
+    def test_placement_four_plus_one(self, fig2_chain):
+        s = schedule_chain(fig2_chain, 5)
+        assert s.task_counts() == {1: 4, 2: 1}
+
+    def test_emissions_match_reconstruction(self, fig2_chain):
+        s = schedule_chain(fig2_chain, 5)
+        assert sorted(a.first_emission for a in s) == [0, 2, 4, 6, 9]
+
+    def test_task_on_processor_2_relayed_6_to_9(self, fig2_chain):
+        s = schedule_chain(fig2_chain, 5)
+        (task,) = s.tasks_on(2)
+        a = s[task]
+        assert a.comms.times == (4, 6)
+        assert a.start == 9 and s.completion_of(task) == 14
+
+    def test_delayed_task_buffered(self, fig2_chain):
+        """Fig. 2's dashed curve: one task waits in the buffer of proc 1."""
+        s = schedule_chain(fig2_chain, 5)
+        waits = []
+        for task in s.tasks_on(1):
+            a = s[task]
+            arrival = a.first_emission + fig2_chain.latency(1)
+            waits.append(a.start - arrival)
+        assert any(wait > 0 for wait in waits)
+
+    def test_feasible(self, fig2_chain):
+        assert check(schedule_chain(fig2_chain, 5)) == []
+
+
+class TestBasicInvariants:
+    def test_single_task_picks_best_processor(self):
+        # proc 1 reachable at 2, runs 9 -> 11; proc 2 reachable at 5, runs 3 -> 8
+        ch = Chain(c=(2, 3), w=(9, 3))
+        s = schedule_chain(ch, 1)
+        assert s[1].processor == 2
+        assert s.makespan == 8
+
+    def test_single_processor_no_idle(self):
+        ch = Chain(c=(2,), w=(5,))
+        s = schedule_chain(ch, 4)
+        assert s.makespan == ch.t_infinity(4)
+        # executions back-to-back after the first arrival
+        ivs = s.processor_intervals()[1]
+        for (s1, e1, _), (s2, e2, _) in zip(ivs, ivs[1:]):
+            assert s2 == e1
+
+    def test_comm_bound_single_processor(self):
+        ch = Chain(c=(5,), w=(2,))  # link slower than CPU
+        s = schedule_chain(ch, 3)
+        assert s.makespan == ch.t_infinity(3) == 5 + 2 * 5 + 2
+
+    def test_rejects_zero_tasks(self, fig2_chain):
+        with pytest.raises(PlatformError):
+            schedule_chain(fig2_chain, 0)
+
+    def test_first_emission_at_zero(self, fig2_chain):
+        s = schedule_chain(fig2_chain, 7)
+        assert s.earliest_emission == 0
+
+    def test_emission_in_task_index_order(self, fig2_chain):
+        s = schedule_chain(fig2_chain, 6)
+        assert emission_order(s) == s.tasks()
+
+    def test_stats_counters(self, fig2_chain):
+        stats = ChainRunStats()
+        schedule_chain(fig2_chain, 5, stats=stats)
+        assert stats.tasks_placed == 5
+        assert stats.candidates_evaluated == 5 * fig2_chain.p
+        # Σ_k k per task = p(p+1)/2 = 3
+        assert stats.vector_elements == 5 * 3
+
+    @given(chains(max_p=4), st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_always_feasible(self, ch, n):
+        s = schedule_chain(ch, n)
+        assert s.n_tasks == n
+        assert check(s) == []
+
+    @given(chains(max_p=4), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_within_horizon(self, ch, n):
+        assert chain_makespan(ch, n) <= ch.t_infinity(n)
+
+    @given(chains(max_p=4), st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_monotone_in_n(self, ch, n):
+        assert chain_makespan(ch, n) <= chain_makespan(ch, n + 1)
+
+    @given(chains(max_p=3), st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_extra_processor_never_hurts(self, ch, n):
+        extended = Chain(ch.c + (1,), ch.w + (1,))
+        assert chain_makespan(extended, n) <= chain_makespan(ch, n)
+
+
+class TestDeadlineVariant:
+    def test_fig2_deadline_14_fits_5(self, fig2_chain):
+        s = schedule_chain_deadline(fig2_chain, 14)
+        assert s.n_tasks == 5
+        assert check_deadline(s, 14) == []
+
+    def test_fig2_deadline_13_fits_fewer(self, fig2_chain):
+        assert max_tasks_within(fig2_chain, 13) < 5
+
+    def test_zero_deadline_fits_none(self, fig2_chain):
+        assert max_tasks_within(fig2_chain, 0) == 0
+
+    def test_cap_respected(self, fig2_chain):
+        s = schedule_chain_deadline(fig2_chain, 100, n=3)
+        assert s.n_tasks == 3
+
+    def test_tasks_renumbered_from_one(self, fig2_chain):
+        s = schedule_chain_deadline(fig2_chain, 14)
+        assert s.tasks() == [1, 2, 3, 4, 5]
+
+    @given(chains(max_p=4), st.integers(0, 40))
+    @settings(max_examples=60, deadline=None)
+    def test_deadline_schedules_feasible_and_within(self, ch, t_lim):
+        s = schedule_chain_deadline(ch, t_lim)
+        assert check_deadline(s, t_lim) == []
+
+    @given(chains(max_p=4), st.integers(0, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_max_tasks_monotone_in_tlim(self, ch, t_lim):
+        assert max_tasks_within(ch, t_lim) <= max_tasks_within(ch, t_lim + 1)
+
+    @given(chains(max_p=4), st.integers(1, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_deadline_consistent_with_makespan(self, ch, n):
+        """makespan(n) is the smallest Tlim admitting n tasks."""
+        mk = chain_makespan(ch, n)
+        assert max_tasks_within(ch, mk) >= n
+        if mk > 0:
+            assert max_tasks_within(ch, mk - 1) < n
+
+
+class TestLemma2SuffixProperty:
+    """Lemma 2: tasks placed beyond processor 1 form the sub-chain schedule;
+    operationally (and as used by Lemma 4 / the spider revert), the deadline
+    run for k tasks equals the last k tasks of the run for n > k tasks."""
+
+    @given(chains(max_p=4), st.integers(1, 20), st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_deadline_suffix_property(self, ch, t_lim, k):
+        full = schedule_chain_deadline(ch, t_lim)
+        if full.n_tasks <= k:
+            return
+        part = schedule_chain_deadline(ch, t_lim, n=k)
+        assert part.n_tasks == k
+        offset = full.n_tasks - k
+        for i in range(1, k + 1):
+            a_part, a_full = part[i], full[offset + i]
+            assert a_part.processor == a_full.processor
+            assert a_part.start == a_full.start
+            assert a_part.comms.times == a_full.comms.times
+
+    @given(chains(max_p=4), st.integers(2, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_subchain_projection(self, ch, n):
+        """The paper's statement: tasks with P(i) >= 2 equal the sub-chain
+        schedule shifted by Tshift = min C_i^2."""
+        if ch.p < 2:
+            return
+        full = schedule_chain(ch, n)
+        beyond = [t for t in full.tasks() if full[t].processor >= 2]
+        if not beyond:
+            return
+        sub = ch.subchain(2)
+        sub_sched = schedule_chain(sub, len(beyond))
+        t_shift = min(full[t].comms[2] for t in beyond)
+        for j, t in enumerate(sorted(beyond), start=1):
+            a_full, a_sub = full[t], sub_sched[j]
+            assert a_sub.processor == a_full.processor - 1
+            assert a_sub.start == a_full.start - t_shift
+            # communication vectors beyond link 1 match up to the shift
+            assert tuple(x - t_shift for x in a_full.comms.times[1:]) == a_sub.comms.times

@@ -1,0 +1,95 @@
+"""Theorem 1 — optimality of the chain algorithm, cross-checked exhaustively.
+
+The exhaustive baseline enumerates all destination sequences with ASAP
+forward semantics (pointwise minimal per sequence), so equality of makespans
+on every random instance is a machine-checked instance of the theorem.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bruteforce import max_tasks_within as bf_max_tasks
+from repro.baselines.bruteforce import optimal_makespan
+from repro.core.chain import chain_makespan, max_tasks_within, schedule_chain
+from repro.platforms.chain import Chain
+from repro.platforms.generators import random_chain
+
+from conftest import chains
+
+
+class TestAgainstBruteForce:
+    @given(chains(max_p=3), st.integers(1, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_equals_exhaustive_optimum(self, ch, n):
+        assert chain_makespan(ch, n) == optimal_makespan(ch, n).makespan
+
+    @given(chains(max_p=3), st.integers(0, 18))
+    @settings(max_examples=40, deadline=None)
+    def test_deadline_tasks_equal_exhaustive(self, ch, t_lim):
+        ours = max_tasks_within(ch, t_lim)
+        if ours >= 8:  # exhaustive search unaffordable beyond this
+            return
+        theirs = bf_max_tasks(ch, t_lim, cap=8).schedule.n_tasks
+        assert ours == theirs
+
+    def test_seeded_sweep_across_profiles(self):
+        """Deterministic regression sweep (a compact version of E3)."""
+        rng = random.Random(2003)
+        for _ in range(30):
+            profile = rng.choice(["balanced", "comm_bound", "cpu_bound"])
+            ch = random_chain(rng.randint(1, 4), profile=profile, rng=rng)
+            n = rng.randint(1, 6)
+            assert chain_makespan(ch, n) == optimal_makespan(ch, n).makespan, (
+                ch,
+                n,
+                profile,
+            )
+
+
+class TestKnownOptima:
+    """Hand-checked instances with pen-and-paper optima."""
+
+    def test_fig2(self):
+        assert chain_makespan(Chain(c=(2, 3), w=(3, 5)), 5) == 14
+
+    def test_two_identical_processors_pipeline(self):
+        # c=(1,1), w=(4,4), n=2: t1 -> proc2 (link1 [0,1], link2 [1,2],
+        # runs [2,6]); t2 -> proc1 (link1 [1,2], runs [2,6]).  Optimal 6.
+        assert chain_makespan(Chain(c=(1, 1), w=(4, 4)), 2) == 6
+
+    def test_worthless_second_processor(self):
+        # second processor too far/slow to ever help for small n
+        ch = Chain(c=(1, 100), w=(2, 100))
+        assert chain_makespan(ch, 3) == ch.t_infinity(3)
+
+    def test_fast_far_processor_wins_single_task(self):
+        ch = Chain(c=(3, 1), w=(50, 1))
+        assert chain_makespan(ch, 1) == 3 + 1 + 1
+
+    def test_comm_dominated_chain(self):
+        # link 1 is the bottleneck: makespan = n*c1 + pipeline tail
+        ch = Chain(c=(4, 1), w=(1, 1))
+        # brute force says:
+        assert chain_makespan(ch, 4) == optimal_makespan(ch, 4).makespan
+
+    def test_homogeneous_chain_spreads_load(self):
+        ch = Chain.homogeneous(3, 1, 6)
+        s = schedule_chain(ch, 3)
+        assert s.task_counts() == {1: 1, 2: 1, 3: 1}
+
+
+class TestOptimalSubstructure:
+    @given(chains(max_p=3), st.integers(2, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_removing_first_task_keeps_optimality(self, ch, n):
+        """The proof of Theorem 1 uses: dropping the first task of an optimal
+        schedule leaves an optimal (n-1)-task schedule shifted by C²₁."""
+        mk_n = chain_makespan(ch, n)
+        mk_prev = chain_makespan(ch, n - 1)
+        s = schedule_chain(ch, n)
+        second_emission = s[2].first_emission if n >= 2 else 0
+        # T_max(n) - C²₁ >= T_max(n-1) (the inequality used in the proof)
+        assert mk_n - second_emission >= mk_prev

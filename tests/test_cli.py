@@ -1,0 +1,135 @@
+"""CLI tests — every subcommand exercised through main()."""
+
+import pytest
+
+from repro.cli import main
+from repro.io.json_io import load_schedule, save_platform
+from repro.platforms.chain import Chain
+
+
+class TestFig2Command:
+    def test_prints_paper_numbers(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan: 14" in out
+        assert "[3, 6, 8, 10, 12]" in out
+
+    def test_gantt_flag(self, capsys):
+        main(["fig2", "--gantt"])
+        out = capsys.readouterr().out
+        assert "proc 1" in out
+
+
+class TestScheduleCommands:
+    def test_chain(self, capsys):
+        assert main(["chain", "--c", "2,3", "--w", "3,5", "-n", "5"]) == 0
+        assert "makespan: 14" in capsys.readouterr().out
+
+    def test_spider(self, capsys):
+        assert main(["spider", "--leg", "2/3,3/5", "--leg", "1/4", "-n", "6"]) == 0
+        assert "makespan:" in capsys.readouterr().out
+
+    def test_star(self, capsys):
+        assert main(["star", "--child", "2/3", "--child", "1/5", "-n", "4"]) == 0
+        assert "makespan:" in capsys.readouterr().out
+
+    def test_svg_and_json_outputs(self, capsys, tmp_path):
+        svg = tmp_path / "x.svg"
+        js = tmp_path / "x.json"
+        main(["chain", "--c", "2", "--w", "3", "-n", "2",
+              "--svg", str(svg), "--json", str(js)])
+        assert svg.read_text().startswith("<svg")
+        assert load_schedule(js).n_tasks == 2
+
+    def test_platform_file(self, capsys, tmp_path):
+        path = tmp_path / "p.json"
+        save_platform(Chain(c=(2, 3), w=(3, 5)), path)
+        assert main(["chain", "--platform", str(path), "-n", "5"]) == 0
+        assert "makespan: 14" in capsys.readouterr().out
+
+    def test_missing_platform_errors(self):
+        with pytest.raises(SystemExit):
+            main(["chain", "-n", "3"])
+
+    def test_float_values_parse(self, capsys):
+        assert main(["chain", "--c", "1.5", "--w", "2.5", "-n", "2"]) == 0
+
+
+class TestAnalysisCommands:
+    def test_compare_lists_all_heuristics(self, capsys):
+        assert main(["compare", "--c", "2,3", "--w", "3,5", "-n", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal (paper)" in out
+        for name in ("master_only", "round_robin", "greedy_mct"):
+            assert name in out
+
+    def test_compare_on_star(self, capsys):
+        assert main(["compare", "--child", "1/2", "--child", "2/1", "-n", "5"]) == 0
+        assert "x1.000" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--c", "2,3", "--w", "3,5", "-n", "5",
+                     "--policy", "demand_driven"]) == 0
+        out = capsys.readouterr().out
+        assert "policy: demand_driven" in out
+        assert "tasks: 5" in out
+
+    def test_steady_chain(self, capsys):
+        assert main(["steady", "--c", "2,3", "--w", "3,5"]) == 0
+        assert "1/2" in capsys.readouterr().out
+
+    def test_steady_star(self, capsys):
+        assert main(["steady", "--child", "1/2", "--child", "4/1"]) == 0
+        assert "5/8" in capsys.readouterr().out
+
+    def test_steady_spider(self, capsys):
+        assert main(["steady", "--leg", "2/3,3/5", "--leg", "1/4"]) == 0
+        assert "throughput" in capsys.readouterr().out
+
+
+class TestExtendedCommands:
+    def test_tree(self, capsys):
+        assert main(["tree", "--workers", "6", "-n", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "cover" in out and "makespan" in out
+
+    def test_tree_dot(self, capsys):
+        assert main(["tree", "--workers", "5", "-n", "6", "--dot"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_failures_star(self, capsys):
+        assert main(["failures", "--child", "1/3", "--child", "2/2",
+                     "-n", "8", "--kill", "3@1"]) == 0
+        out = capsys.readouterr().out
+        assert "completed: 8" in out
+        assert "reissues:" in out
+
+    def test_failures_spider_tuple_proc(self, capsys):
+        assert main(["failures", "--leg", "1/4,2/3", "--leg", "5/7",
+                     "-n", "10", "--kill", "6@1,2"]) == 0
+        assert "survivors" in capsys.readouterr().out
+
+    def test_failures_none(self, capsys):
+        assert main(["failures", "--child", "1/2", "-n", "4"]) == 0
+        assert "reissues: 0" in capsys.readouterr().out
+
+    def test_fig7_dot(self, capsys):
+        assert main(["fig7", "--c", "2,3", "--w", "3,5", "--tlim", "14"]) == 0
+        out = capsys.readouterr().out
+        assert "digraph" in out
+        for value in (3, 6, 8, 10, 12):
+            assert f'label="{value}"' in out
+
+    def test_fig7_rejects_star(self):
+        with pytest.raises(SystemExit):
+            main(["fig7", "--child", "1/2", "--tlim", "10"])
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["warp"])

@@ -1,0 +1,136 @@
+"""Unit tests for communication vectors and the ≺ order (Definition 3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.commvector import CommVector, greatest
+
+
+class TestConstruction:
+    def test_from_iterable(self):
+        v = CommVector([1, 2, 3])
+        assert v.times == (1, 2, 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CommVector([])
+
+    def test_len_is_processor_index(self):
+        assert CommVector([0, 2, 5]).processor == 3
+
+    def test_first_emission(self):
+        assert CommVector([4, 6]).first_emission == 4
+
+    def test_one_based_getitem(self):
+        v = CommVector([10, 20, 30])
+        assert v[1] == 10 and v[3] == 30
+
+    def test_getitem_out_of_range(self):
+        v = CommVector([10])
+        with pytest.raises(IndexError):
+            v[2]
+        with pytest.raises(IndexError):
+            v[0]
+
+    def test_immutable(self):
+        v = CommVector([1])
+        with pytest.raises(AttributeError):
+            v.times = (2,)  # type: ignore[misc]
+
+    def test_iter(self):
+        assert list(CommVector([1, 2])) == [1, 2]
+
+
+class TestDefinition3Order:
+    """The two branches of Definition 3."""
+
+    def test_first_differing_element_decides(self):
+        assert CommVector([1, 5]).precedes(CommVector([2, 0]))
+        assert not CommVector([2, 0]).precedes(CommVector([1, 5]))
+
+    def test_later_elements_break_ties(self):
+        assert CommVector([1, 3]).precedes(CommVector([1, 4]))
+
+    def test_prefix_rule_longer_is_inferior(self):
+        # equal on the common prefix: longer ≺ shorter
+        assert CommVector([1, 2, 3]).precedes(CommVector([1, 2]))
+        assert not CommVector([1, 2]).precedes(CommVector([1, 2, 3]))
+
+    def test_differing_lengths_with_difference(self):
+        # difference inside the common prefix wins over the length rule
+        assert CommVector([0, 9, 9]).precedes(CommVector([1]))
+        assert CommVector([1]).precedes(CommVector([2, 0, 0]))
+
+    def test_equal_vectors_do_not_precede(self):
+        v = CommVector([1, 2])
+        assert not v.precedes(CommVector([1, 2]))
+
+    def test_strict_order_irreflexive(self):
+        v = CommVector([3, 4])
+        assert not v.precedes(v)
+
+    def test_comparison_operators(self):
+        a, b = CommVector([1]), CommVector([2])
+        assert a < b and a <= b and b > a and b >= a
+        assert a <= CommVector([1]) and a >= CommVector([1])
+
+    @given(
+        st.lists(st.integers(0, 9), min_size=1, max_size=4),
+        st.lists(st.integers(0, 9), min_size=1, max_size=4),
+    )
+    def test_totality_on_distinct_vectors(self, xs, ys):
+        a, b = CommVector(xs), CommVector(ys)
+        if xs == ys:
+            assert not a.precedes(b) and not b.precedes(a)
+        else:
+            assert a.precedes(b) != b.precedes(a)
+
+    @given(
+        st.lists(st.integers(0, 5), min_size=1, max_size=3),
+        st.lists(st.integers(0, 5), min_size=1, max_size=3),
+        st.lists(st.integers(0, 5), min_size=1, max_size=3),
+    )
+    def test_transitivity(self, xs, ys, zs):
+        a, b, c = CommVector(xs), CommVector(ys), CommVector(zs)
+        if a.precedes(b) and b.precedes(c):
+            assert a.precedes(c)
+
+
+class TestGreatest:
+    def test_picks_max(self):
+        vs = [CommVector([1, 2]), CommVector([3]), CommVector([2, 9])]
+        assert greatest(vs) == CommVector([3])
+
+    def test_shorter_wins_on_prefix_tie(self):
+        vs = [CommVector([3, 1]), CommVector([3])]
+        assert greatest(vs) == CommVector([3])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            greatest([])
+
+    def test_single(self):
+        assert greatest([CommVector([7])]) == CommVector([7])
+
+
+class TestHelpers:
+    def test_shifted(self):
+        assert CommVector([1, 2]).shifted(3).times == (4, 5)
+
+    def test_shifted_negative(self):
+        assert CommVector([5, 7]).shifted(-5).times == (0, 2)
+
+    def test_suffix(self):
+        v = CommVector([1, 2, 3])
+        assert v.suffix(2).times == (2, 3)
+        assert v.suffix(1) == v
+
+    def test_suffix_out_of_range(self):
+        with pytest.raises(IndexError):
+            CommVector([1]).suffix(2)
+
+    def test_latency_monotonicity_check(self):
+        v = CommVector([0, 2, 5])
+        assert v.is_nondecreasing_with_latencies([2, 3])
+        assert not v.is_nondecreasing_with_latencies([3, 3])

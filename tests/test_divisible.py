@@ -1,0 +1,97 @@
+"""Tests for the divisible-load (fluid) bounds (refs [5][6][10])."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.divisible import (
+    chain_fluid_bound,
+    quantisation_gap,
+    star_closed_form,
+)
+from repro.core.chain import chain_makespan
+from repro.core.types import PlatformError
+from repro.platforms.chain import Chain
+from repro.platforms.star import Star
+
+from conftest import chains
+
+
+class TestChainFluidBound:
+    def test_is_lower_bound_fig2(self):
+        ch = Chain(c=(2, 3), w=(3, 5))
+        for n in (1, 3, 5, 10):
+            assert chain_fluid_bound(ch, n).finish_time <= chain_makespan(ch, n) + 1e-9
+
+    @given(chains(max_p=3), st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_is_lower_bound_random(self, ch, n):
+        fluid = chain_fluid_bound(ch, n)
+        assert fluid.finish_time <= chain_makespan(ch, n) + 1e-9
+
+    def test_conservation(self):
+        ch = Chain(c=(1, 2), w=(3, 4))
+        fluid = chain_fluid_bound(ch, 7)
+        assert math.isclose(fluid.total, 7.0, rel_tol=1e-6)
+
+    def test_single_processor_exact(self):
+        # fluid == quantum when one processor: T = c1 + n*w or n*c1 + w
+        ch = Chain(c=(2,), w=(3,))
+        fluid = chain_fluid_bound(ch, 4)
+        # LP constraint: a*w <= T - c and a*c <= T - w => T >= c + n*w = 14
+        assert fluid.finish_time <= chain_makespan(ch, 4)
+        assert fluid.finish_time >= 4 * 3  # processor busy time alone
+
+    def test_rejects_zero_tasks(self):
+        with pytest.raises(PlatformError):
+            chain_fluid_bound(Chain(c=(1,), w=(1,)), 0)
+
+    def test_gap_shrinks_with_n(self):
+        """E10's headline shape: relative quantisation gap ~ O(1/n)."""
+        ch = Chain(c=(2, 3), w=(3, 5))
+        gaps = [
+            quantisation_gap(ch, n, chain_makespan(ch, n)) for n in (2, 8, 32, 128)
+        ]
+        assert gaps[-1] < gaps[0]
+        assert gaps[-1] < 0.25
+
+
+class TestStarClosedForm:
+    def test_single_child(self):
+        star = Star([(2, 3)])
+        sol = star_closed_form(star, 10.0)
+        # finish = 10*(2+3) = 50 for a single child receiving everything
+        assert math.isclose(sol.finish_time, 50.0, rel_tol=1e-9)
+
+    def test_simultaneous_completion(self):
+        star = Star([(1, 4), (2, 3), (1, 6)])
+        load = 12.0
+        sol = star_closed_form(star, load)
+        # recompute each child's finish in emission order (ascending c)
+        order = sorted(
+            range(star.arity),
+            key=lambda i: (star.children[i].c, star.children[i].w),
+        )
+        comm = 0.0
+        finishes = []
+        for i in order:
+            a = sol.fractions[i]
+            comm += a * star.children[i].c
+            finishes.append(comm + a * star.children[i].w)
+        assert all(math.isclose(f, sol.finish_time, rel_tol=1e-9) for f in finishes)
+
+    def test_conservation(self):
+        star = Star([(1, 2), (3, 4)])
+        sol = star_closed_form(star, 5.0)
+        assert math.isclose(sol.total, 5.0, rel_tol=1e-9)
+
+    def test_rejects_nonpositive_load(self):
+        with pytest.raises(PlatformError):
+            star_closed_form(Star([(1, 1)]), 0)
+
+    def test_faster_child_gets_more(self):
+        star = Star([(1, 1), (1, 10)])
+        sol = star_closed_form(star, 10.0)
+        assert sol.fractions[0] > sol.fractions[1]

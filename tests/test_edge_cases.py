@@ -1,0 +1,164 @@
+"""Edge-case coverage across modules: degenerate inputs, float rendering,
+engine re-entrancy, error paths."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chain import schedule_chain
+from repro.core.commvector import CommVector
+from repro.core.fork import fork_schedule
+from repro.core.schedule import Schedule
+from repro.core.spider import spider_schedule
+from repro.core.types import SimulationError
+from repro.platforms.chain import Chain
+from repro.platforms.presets import paper_fig5_spider
+from repro.platforms.star import Star
+from repro.sim.engine import Simulator
+from repro.sim.executor import execute
+from repro.viz.gantt import render_gantt
+from repro.viz.svg import _tick_step, render_svg
+
+from conftest import chains
+
+
+class TestCommVectorShiftInvariance:
+    @given(
+        st.lists(st.integers(0, 9), min_size=1, max_size=4),
+        st.lists(st.integers(0, 9), min_size=1, max_size=4),
+        st.integers(-10, 10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_order_invariant_under_common_shift(self, xs, ys, delta):
+        a, b = CommVector(xs), CommVector(ys)
+        assert a.precedes(b) == a.shifted(delta).precedes(b.shifted(delta))
+
+
+class TestRenderingEdgeCases:
+    def test_gantt_float_times(self):
+        ch = Chain(c=(0.5, 1.25), w=(2.0, 1.5))
+        text = render_gantt(schedule_chain(ch, 4))
+        assert "proc 1" in text and "makespan=" in text
+
+    def test_gantt_tiny_width(self):
+        ch = Chain(c=(2,), w=(3,))
+        text = render_gantt(schedule_chain(ch, 8), width=10)
+        assert "proc 1" in text
+
+    def test_gantt_single_task(self):
+        ch = Chain(c=(1,), w=(1,))
+        text = render_gantt(schedule_chain(ch, 1))
+        assert "tasks=1" in text
+
+    def test_svg_float_times(self):
+        ch = Chain(c=(0.5,), w=(0.25,))
+        svg = render_svg(schedule_chain(ch, 3))
+        assert svg.endswith("</svg>")
+
+    def test_svg_long_makespan_axis(self):
+        ch = Chain(c=(1,), w=(50,))
+        svg = render_svg(schedule_chain(ch, 10))
+        assert "<line" in svg
+
+    def test_tick_step_reasonable(self):
+        for span in (1, 14, 100, 5000):
+            step = _tick_step(float(span))
+            assert step > 0
+            assert span / step <= 16
+
+    def test_tick_step_degenerate(self):
+        assert _tick_step(0.0) == 1.0
+
+    def test_spider_svg_lane_labels(self):
+        s = spider_schedule(paper_fig5_spider(), 5)
+        svg = render_svg(s)
+        assert "proc (1, 1)" in svg
+
+
+class TestEngineEdgeCases:
+    def test_not_reentrant(self):
+        sim = Simulator()
+
+        def recurse(s):
+            s.run()
+
+        sim.at(0, recurse)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_empty_run_returns_zero(self):
+        assert Simulator().run() == 0
+
+    def test_run_resumes_after_until(self):
+        sim = Simulator()
+        seen = []
+        sim.at(1, lambda s: seen.append(1))
+        sim.at(5, lambda s: seen.append(5))
+        sim.run(until=2)
+        sim.run()
+        assert seen == [1, 5]
+
+    def test_executor_empty_schedule(self):
+        ch = Chain(c=(1,), w=(1,))
+        trace = execute(Schedule(ch))
+        assert trace.tasks_completed() == 0
+        assert trace.makespan == 0
+
+
+class TestDegenerateScheduling:
+    def test_fork_single_task(self):
+        star = Star([(3, 7), (1, 10)])
+        s = fork_schedule(star, 1)
+        assert s.n_tasks == 1
+        assert s.makespan == min(3 + 7, 1 + 10)
+
+    def test_chain_n1_p1(self):
+        ch = Chain(c=(4,), w=(6,))
+        s = schedule_chain(ch, 1)
+        assert s.makespan == 10
+        assert s[1].comms.times == (0,)
+
+    def test_spider_one_leg_one_proc(self):
+        from repro.platforms.spider import Spider
+
+        sp = Spider([Chain(c=(2,), w=(3,))])
+        s = spider_schedule(sp, 3)
+        assert s.makespan == 2 + 3 * 3  # master-only cadence max(2,3)=3
+
+    @given(chains(max_p=3))
+    @settings(max_examples=25, deadline=None)
+    def test_single_task_goes_to_fastest_finisher(self, ch):
+        s = schedule_chain(ch, 1)
+        best = min(
+            ch.route_latency(i) + ch.work(i) for i in range(1, ch.p + 1)
+        )
+        assert s.makespan == best
+
+    def test_very_asymmetric_star(self):
+        star = Star([(1, 1), (100, 100)])
+        s = fork_schedule(star, 10)
+        assert s.task_counts().get(1, 0) == 10  # far child never used
+
+    def test_equal_children_balanced(self):
+        star = Star([(1, 4), (1, 4)])
+        s = fork_schedule(star, 6)
+        counts = s.task_counts()
+        assert sorted(counts.values()) == [3, 3]
+
+
+class TestIoErrorPaths:
+    def test_load_platform_missing_file(self, tmp_path):
+        from repro.io.json_io import load_platform
+
+        with pytest.raises(FileNotFoundError):
+            load_platform(tmp_path / "missing.json")
+
+    def test_schedule_from_dict_explicit_platform(self):
+        from repro.core.schedule import Schedule as S
+
+        ch = Chain(c=(2,), w=(3,))
+        sched = schedule_chain(ch, 2)
+        d = sched.to_dict()
+        back = S.from_dict(d, platform=ch)
+        assert back.platform is ch
+        assert back.makespan == sched.makespan

@@ -1,0 +1,36 @@
+"""Every example script must run clean as a subprocess (user-facing smoke)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).resolve().parents[1] / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script, tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+        cwd=tmp_path,  # artefacts (svg/json) land in the scratch dir
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must narrate what they do"
+
+
+def test_example_inventory():
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 3, "the paper repro ships at least three examples"
+
+
+def test_quickstart_prints_paper_numbers():
+    script = next(p for p in EXAMPLES if p.stem == "quickstart")
+    out = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True, timeout=60
+    ).stdout
+    assert "14" in out  # the paper's makespan

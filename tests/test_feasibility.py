@@ -1,0 +1,141 @@
+"""Tests of the Definition-1 feasibility checker — one class per condition."""
+
+import pytest
+
+from repro.core.commvector import CommVector
+from repro.core.feasibility import (
+    assert_feasible,
+    check,
+    check_deadline,
+    emission_order,
+    is_feasible,
+    port_utilisation,
+)
+from repro.core.schedule import Schedule, TaskAssignment
+from repro.core.types import InfeasibleScheduleError
+from repro.platforms.chain import Chain
+from repro.platforms.star import Star
+
+
+@pytest.fixture
+def chain() -> Chain:
+    return Chain(c=(2, 3), w=(3, 5))
+
+
+def make(chain, *assignments) -> Schedule:
+    s = Schedule(chain)
+    for i, (proc, start, comms) in enumerate(assignments, start=1):
+        s.add(TaskAssignment(i, proc, start, CommVector(comms)))
+    return s
+
+
+class TestCondition1RelayPrecedence:
+    def test_ok(self, chain):
+        s = make(chain, (2, 5, [0, 2]))
+        assert is_feasible(s)
+
+    def test_reemission_before_reception(self, chain):
+        # link 1 takes 2 units; re-emitting at t=1 is too early
+        s = make(chain, (2, 9, [0, 1]))
+        violations = check(s)
+        assert any("condition 1" in v for v in violations)
+
+    def test_exact_boundary_ok(self, chain):
+        s = make(chain, (2, 5, [0, 2]))  # reception ends exactly at emission
+        assert check(s) == []
+
+
+class TestCondition2ArrivalBeforeStart:
+    def test_start_before_arrival(self, chain):
+        s = make(chain, (1, 1, [0]))  # arrives at 2, starts at 1
+        assert any("condition 2" in v for v in check(s))
+
+    def test_start_at_arrival_ok(self, chain):
+        s = make(chain, (1, 2, [0]))
+        assert is_feasible(s)
+
+    def test_buffered_start_ok(self, chain):
+        s = make(chain, (1, 10, [0]))  # buffering is allowed
+        assert is_feasible(s)
+
+
+class TestCondition3ProcessorExclusivity:
+    def test_overlapping_executions(self, chain):
+        s = make(chain, (1, 2, [0]), (1, 4, [2]))  # w1=3: [2,5) and [4,7)
+        assert any("condition 3" in v for v in check(s))
+
+    def test_back_to_back_ok(self, chain):
+        s = make(chain, (1, 2, [0]), (1, 5, [2]))
+        assert is_feasible(s)
+
+    def test_different_processors_may_overlap(self, chain):
+        s = make(chain, (1, 2, [0]), (2, 7, [2, 4]))
+        assert is_feasible(s)
+
+
+class TestCondition4PortExclusivity:
+    def test_link_overlap(self, chain):
+        s = make(chain, (1, 3, [0]), (1, 6, [1]))  # link1 busy [0,2) and [1,3)
+        assert any("condition 4" in v for v in check(s))
+
+    def test_master_port_shared_on_star(self):
+        star = Star([(2, 3), (2, 3)])
+        s = Schedule(star)
+        s.add(TaskAssignment(1, 1, 2, CommVector([0])))
+        s.add(TaskAssignment(2, 2, 3, CommVector([1])))  # overlaps master port
+        assert any("condition 4" in v for v in check(s))
+
+    def test_sequential_master_port_ok(self):
+        star = Star([(2, 3), (2, 3)])
+        s = Schedule(star)
+        s.add(TaskAssignment(1, 1, 2, CommVector([0])))
+        s.add(TaskAssignment(2, 2, 4, CommVector([2])))
+        assert is_feasible(s)
+
+    def test_send_receive_overlap_allowed(self, chain):
+        # processor 1 receives task 2 while sending task 1 onward: legal
+        s = make(chain, (2, 5, [0, 2]), (1, 5, [2]))
+        # task1: link1 [0,2), link2 [2,5); task2: link1 [2,4) -> node1
+        # receives task2 while sending task1 on link2 — allowed
+        assert is_feasible(s)
+
+    def test_compute_comm_overlap_allowed(self, chain):
+        # processor 1 computes task 1 while relaying task 2 downstream
+        s = make(chain, (1, 2, [0]), (2, 7, [2, 4]))
+        assert is_feasible(s)
+
+
+class TestApiSurfaces:
+    def test_assert_feasible_raises_with_all_violations(self, chain):
+        s = make(chain, (1, 0, [0]), (1, 1, [0]))
+        with pytest.raises(InfeasibleScheduleError) as exc:
+            assert_feasible(s)
+        assert len(exc.value.violations) >= 2
+
+    def test_negative_emission_flagged(self, chain):
+        s = make(chain, (1, 2, [-1]))
+        assert any("negative" in v for v in check(s))
+        assert is_feasible(s, require_nonnegative=False) is False or True
+
+    def test_negative_allowed_when_disabled(self, chain):
+        s = make(chain, (1, 1, [-1]))
+        assert is_feasible(s, require_nonnegative=False)
+
+    def test_check_deadline(self, chain):
+        s = make(chain, (1, 2, [0]))  # completes at 5
+        assert check_deadline(s, 5) == []
+        assert any("Tlim" in v for v in check_deadline(s, 4))
+
+    def test_emission_order(self, chain):
+        s = make(chain, (1, 5, [2]), (1, 2, [0]))
+        assert emission_order(s) == [2, 1]
+
+    def test_port_utilisation(self, chain):
+        s = make(chain, (1, 2, [0]), (1, 5, [2]))
+        assert port_utilisation(s, 0) == 4  # two messages x c1=2
+
+    def test_float_eps_tolerance(self):
+        ch = Chain(c=(0.1,), w=(0.2,))
+        s = Schedule(ch)
+        s.add(TaskAssignment(1, 1, 0.1 + 1e-12, CommVector([0.0])))
+        assert is_feasible(s)

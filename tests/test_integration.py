@@ -1,0 +1,119 @@
+"""End-to-end integration tests: algorithms → feasibility → simulator →
+serialisation → visualisation, chained together the way a user would."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Chain, Spider, assert_feasible, schedule_chain
+from repro.analysis.metrics import compute_metrics
+from repro.analysis.steady_state import spider_steady_state
+from repro.baselines.heuristics import ALL_HEURISTICS
+from repro.core.fork import fork_schedule
+from repro.core.spider import spider_schedule
+from repro.io.json_io import load_schedule, save_platform, save_schedule
+from repro.platforms.generators import random_spider
+from repro.platforms.presets import paper_fig5_spider, seti_like_spider
+from repro.sim.executor import verify_by_execution
+from repro.sim.online import ONLINE_POLICIES, simulate_online
+from repro.viz.gantt import render_gantt
+from repro.viz.svg import render_svg
+
+from conftest import spiders
+
+
+class TestFullPipelineChain:
+    def test_schedule_check_execute_render_save(self, fig2_chain, tmp_path):
+        s = schedule_chain(fig2_chain, 5)
+        assert_feasible(s)
+        trace = verify_by_execution(s)
+        assert trace.makespan == s.makespan
+        gantt = render_gantt(s)
+        svg = render_svg(s)
+        assert "makespan=14" in gantt and "<svg" in svg
+        path = save_schedule(s, tmp_path / "s.json")
+        assert load_schedule(path).makespan == 14
+
+    def test_metrics_consistent_with_trace(self, fig2_chain):
+        s = schedule_chain(fig2_chain, 5)
+        m = compute_metrics(s)
+        trace = verify_by_execution(s)
+        for proc, util in m.proc_utilisation.items():
+            assert abs(trace.utilisation(("proc", proc)) - util) < 1e-9
+
+
+class TestFullPipelineSpider:
+    def test_spider_end_to_end(self, tmp_path):
+        sp = paper_fig5_spider()
+        s = spider_schedule(sp, 8)
+        assert_feasible(s)
+        verify_by_execution(s)
+        save_platform(sp, tmp_path / "p.json")
+        path = save_schedule(s, tmp_path / "s.json")
+        back = load_schedule(path)
+        assert back.makespan == s.makespan
+        verify_by_execution(back)
+
+    def test_offline_beats_every_online_policy(self):
+        sp = seti_like_spider()
+        n = 18
+        opt = spider_schedule(sp, n)
+        assert_feasible(opt)
+        for policy in ONLINE_POLICIES:
+            online = simulate_online(sp, n, policy)
+            assert online.makespan >= opt.makespan
+
+    def test_offline_beats_every_forward_heuristic(self):
+        sp = seti_like_spider()
+        n = 14
+        opt = spider_schedule(sp, n).makespan
+        for heuristic in ALL_HEURISTICS.values():
+            assert heuristic(sp, n).makespan >= opt
+
+    def test_rate_approaches_steady_state(self):
+        sp = paper_fig5_spider()
+        thr = float(spider_steady_state(sp).throughput)
+        n = 60
+        mk = spider_schedule(sp, n).makespan
+        rate = n / float(mk)
+        assert rate <= thr * (1 + 1e-9)
+        assert rate >= thr * 0.75  # within the finite-n envelope
+
+
+class TestCrossTopologyConsistency:
+    """The same physical platform expressed as different classes must give
+    identical optimal makespans."""
+
+    def test_chain_vs_one_leg_spider(self, fig2_chain):
+        for n in (1, 3, 5, 9):
+            a = schedule_chain(fig2_chain, n).makespan
+            b = spider_schedule(Spider([fig2_chain]), n).makespan
+            assert a == b
+
+    def test_star_vs_flat_spider(self):
+        from repro.platforms.star import Star
+
+        star = Star([(2, 3), (1, 4), (3, 2)])
+        sp = Spider.from_star(star)
+        for n in (1, 4, 7):
+            assert fork_schedule(star, n).makespan == spider_schedule(sp, n).makespan
+
+    @given(spiders(max_legs=3, max_depth=2), st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_spider_schedules_always_execute(self, sp, n):
+        s = spider_schedule(sp, n)
+        trace = verify_by_execution(s)
+        assert trace.tasks_completed() == n
+
+
+class TestDeterminism:
+    def test_chain_schedule_is_deterministic(self):
+        rng = random.Random(5)
+        for _ in range(5):
+            sp = random_spider(rng.randint(1, 3), 2, rng=rng)
+            n = rng.randint(1, 6)
+            a = spider_schedule(sp, n)
+            b = spider_schedule(sp, n)
+            assert a.to_dict() == b.to_dict()

@@ -1,0 +1,183 @@
+"""Extended property-based tests: cross-module invariants under hypothesis.
+
+These go beyond per-module unit tests: they tie the algorithms, the
+transformations, the analysis layer and the serialisation together with
+algebraic invariants that must hold on *every* generated instance.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.periodic import periodic_star_schedule, star_periodic_pattern
+from repro.analysis.steady_state import (
+    chain_steady_state,
+    spider_steady_state,
+    star_steady_state,
+)
+from repro.baselines.asap import asap_from_sequence
+from repro.core.chain import chain_makespan, schedule_chain
+from repro.core.feasibility import check, is_feasible
+from repro.core.fork import VirtualSlave, allocate_greedy
+from repro.core.schedule import Schedule, adapter_for
+from repro.core.spider import spider_max_tasks
+from repro.io.json_io import schedule_from_dict, schedule_to_dict
+from repro.platforms.chain import Chain
+from repro.platforms.spider import Spider
+from repro.platforms.star import Star
+
+from conftest import chains, spiders, stars, cw_values
+
+
+class TestScheduleTransformInvariants:
+    @given(chains(max_p=4), st.integers(1, 6), st.integers(-5, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_shift_preserves_feasibility_and_makespan_delta(self, ch, n, delta):
+        s = schedule_chain(ch, n)
+        shifted = s.shifted(delta)
+        assert shifted.makespan == s.makespan + delta
+        assert is_feasible(shifted, require_nonnegative=False)
+
+    @given(chains(max_p=4), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_normalised_is_idempotent(self, ch, n):
+        s = schedule_chain(ch, n).shifted(7)
+        norm = s.normalised()
+        assert norm.earliest_emission == 0
+        assert norm.normalised().to_dict() == norm.to_dict()
+
+    @given(chains(max_p=4), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_renumbered_preserves_everything_observable(self, ch, n):
+        s = schedule_chain(ch, n)
+        rn = s.renumbered()
+        assert rn.makespan == s.makespan
+        assert rn.task_counts() == s.task_counts()
+        assert check(rn) == []
+
+    @given(chains(max_p=4), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_json_round_trip_is_identity(self, ch, n):
+        s = schedule_chain(ch, n)
+        back = schedule_from_dict(schedule_to_dict(s))
+        assert back.to_dict() == s.to_dict()
+
+    @given(spiders(max_legs=2, max_depth=2), st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_restriction_keeps_feasibility(self, sp, n):
+        from repro.core.spider import spider_schedule
+
+        s = spider_schedule(sp, n)
+        for keep in range(1, n + 1):
+            sub = s.restricted_to(range(1, keep + 1))
+            assert check(sub) == []
+
+
+class TestSteadyStateMonotonicity:
+    @given(stars(max_k=3), st.tuples(cw_values, cw_values))
+    @settings(max_examples=40, deadline=None)
+    def test_adding_a_child_never_lowers_throughput(self, star, extra):
+        bigger = Star(list(star.children) + [extra])
+        assert star_steady_state(bigger).throughput >= star_steady_state(star).throughput
+
+    @given(stars(max_k=4))
+    @settings(max_examples=40, deadline=None)
+    def test_speeding_a_link_never_lowers_throughput(self, star):
+        children = list(star.children)
+        i = 0
+        if children[i].c <= 1:
+            return
+        from repro.platforms.spec import ProcessorSpec
+
+        faster = children.copy()
+        faster[i] = ProcessorSpec(children[i].c - 1, children[i].w)
+        assert (
+            star_steady_state(Star(faster)).throughput
+            >= star_steady_state(star).throughput
+        )
+
+    @given(chains(max_p=4))
+    @settings(max_examples=40, deadline=None)
+    def test_chain_throughput_bounded_by_first_link(self, ch):
+        thr = chain_steady_state(ch).throughput
+        assert thr <= Fraction(1, ch.latency(1))
+        assert thr <= sum(Fraction(1, w) for w in ch.w)
+
+    @given(spiders(max_legs=3, max_depth=2))
+    @settings(max_examples=30, deadline=None)
+    def test_spider_throughput_at_least_best_leg_granted(self, sp):
+        thr = spider_steady_state(sp).throughput
+        # the best single leg served alone is a feasible strategy
+        best_leg = max(
+            min(chain_steady_state(leg).throughput, Fraction(1, leg.latency(1)))
+            for leg in sp
+        )
+        assert thr >= best_leg
+
+
+class TestForkAllocationProperties:
+    @given(
+        st.lists(st.tuples(cw_values, st.integers(1, 12)), max_size=8),
+        st.integers(0, 25),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_accepting_is_monotone_in_tlim(self, raw, t_lim):
+        slaves = [VirtualSlave(c, w, i) for i, (c, w) in enumerate(raw)]
+        a = allocate_greedy(slaves, t_lim).n_tasks
+        b = allocate_greedy(slaves, t_lim + 1).n_tasks
+        assert b >= a
+
+    @given(
+        st.lists(st.tuples(cw_values, st.integers(1, 12)), min_size=1, max_size=8),
+        st.integers(0, 25),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_removing_a_candidate_never_helps(self, raw, t_lim):
+        slaves = [VirtualSlave(c, w, i) for i, (c, w) in enumerate(raw)]
+        full = allocate_greedy(slaves, t_lim).n_tasks
+        reduced = allocate_greedy(slaves[1:], t_lim).n_tasks
+        assert reduced <= full
+
+    @given(spiders(max_legs=3, max_depth=2), st.tuples(cw_values, cw_values))
+    @settings(max_examples=30, deadline=None)
+    def test_extra_leg_never_lowers_spider_tasks(self, sp, extra):
+        t_lim = 15
+        base = spider_max_tasks(sp, t_lim)
+        bigger = Spider(list(sp.legs) + [Chain([extra[0]], [extra[1]])])
+        assert spider_max_tasks(bigger, t_lim) >= base
+
+
+class TestAsapAlgebra:
+    @given(chains(max_p=3), st.lists(st.integers(1, 3), min_size=1, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_appending_a_task_never_shrinks_makespan(self, ch, raw_seq):
+        seq = [min(d, ch.p) for d in raw_seq]
+        partial = asap_from_sequence(ch, seq[:-1]) if len(seq) > 1 else None
+        full = asap_from_sequence(ch, seq)
+        if partial is not None:
+            assert full.makespan >= partial.makespan
+
+    @given(chains(max_p=3), st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_chain_algorithm_beats_every_single_destination(self, ch, n):
+        opt = chain_makespan(ch, n)
+        for dest in range(1, ch.p + 1):
+            assert opt <= asap_from_sequence(ch, [dest] * n).makespan
+
+
+class TestPeriodicProperties:
+    @given(stars(max_k=3))
+    @settings(max_examples=30, deadline=None)
+    def test_pattern_always_feasible(self, star):
+        pattern = star_periodic_pattern(star)
+        assert pattern.rate == star_steady_state(star).throughput
+        schedule = periodic_star_schedule(star, 2)
+        assert check(schedule) == []
+
+    @given(stars(max_k=3), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_unrolled_task_count(self, star, k):
+        pattern = star_periodic_pattern(star)
+        schedule = periodic_star_schedule(star, k)
+        assert schedule.n_tasks == k * pattern.tasks_per_period

@@ -1,0 +1,40 @@
+"""Tests for the programmatic experiment report."""
+
+from repro.analysis.report import ExperimentReport, build_report
+from repro.cli import main
+
+
+class TestBuildReport:
+    def test_quick_report_passes(self):
+        rep = build_report(seed=0)
+        assert rep.ok, rep.failures
+        titles = [t for t, _ in rep.sections]
+        assert any("E1" in t for t in titles)
+        assert any("E4" in t for t in titles)
+        assert any("E9" in t for t in titles)
+
+    def test_markdown_structure(self):
+        md = build_report(seed=1).markdown
+        assert md.startswith("# Reproduction report")
+        assert "## E1" in md
+        assert "| quantity | paper | measured |" in md
+
+    def test_failures_listed_first(self):
+        rep = ExperimentReport()
+        rep.add("Section", "body")
+        rep.failures.append("boom")
+        assert not rep.ok
+        md = rep.markdown
+        assert md.index("FAILURES") < md.index("Section")
+
+    def test_deterministic_for_seed(self):
+        assert build_report(seed=3).markdown == build_report(seed=3).markdown
+
+    def test_cli_report(self, capsys):
+        assert main(["report", "--seed", "2"]) == 0
+        assert "# Reproduction report" in capsys.readouterr().out
+
+    def test_cli_report_to_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main(["report", "--out", str(out)]) == 0
+        assert out.read_text().startswith("# Reproduction report")

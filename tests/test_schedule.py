@@ -1,0 +1,176 @@
+"""Unit tests for the Schedule container and platform adapters."""
+
+import pytest
+
+from repro.core.commvector import CommVector
+from repro.core.schedule import (
+    ChainAdapter,
+    Schedule,
+    SpiderAdapter,
+    StarAdapter,
+    TaskAssignment,
+    TreeAdapter,
+    adapter_for,
+)
+from repro.core.types import ScheduleError
+from repro.platforms.chain import Chain
+from repro.platforms.spider import Spider
+from repro.platforms.star import Star
+from repro.platforms.tree import Tree
+
+
+@pytest.fixture
+def chain() -> Chain:
+    return Chain(c=(2, 3), w=(3, 5))
+
+
+@pytest.fixture
+def chain_schedule(chain) -> Schedule:
+    s = Schedule(chain)
+    s.add(TaskAssignment(1, 1, 2, CommVector([0])))
+    s.add(TaskAssignment(2, 2, 9, CommVector([4, 6])))
+    return s
+
+
+class TestAdapters:
+    def test_adapter_dispatch(self, chain):
+        assert isinstance(adapter_for(chain), ChainAdapter)
+        assert isinstance(adapter_for(Star([(1, 2)])), StarAdapter)
+        assert isinstance(adapter_for(Spider([chain])), SpiderAdapter)
+        assert isinstance(adapter_for(Tree([(0, 1, 1, 1)])), TreeAdapter)
+
+    def test_adapter_rejects_unknown(self):
+        with pytest.raises(ScheduleError):
+            adapter_for(object())
+
+    def test_chain_routes_and_ports(self, chain):
+        a = ChainAdapter(chain)
+        assert a.route(2) == [1, 2]
+        assert a.sender(1) == 0 and a.sender(2) == 1
+        assert a.receiver(2) == 2
+        assert a.work(2) == 5 and a.latency(1) == 2
+
+    def test_star_shares_master_port(self):
+        a = StarAdapter(Star([(1, 2), (3, 4)]))
+        assert a.sender(1) == "master" and a.sender(2) == "master"
+        assert a.route(2) == [2]
+
+    def test_spider_routes(self):
+        sp = Spider([Chain(c=(1, 2), w=(1, 2)), Chain(c=(3,), w=(4,))])
+        a = SpiderAdapter(sp)
+        assert a.route((1, 2)) == [(1, 1), (1, 2)]
+        assert a.sender((1, 1)) == "master" and a.sender((2, 1)) == "master"
+        assert a.sender((1, 2)) == (1, 1)
+        assert a.processors() == [(1, 1), (1, 2), (2, 1)]
+
+    def test_tree_routes(self):
+        t = Tree([(0, 1, 2, 3), (1, 2, 1, 4), (1, 3, 2, 5)])
+        a = TreeAdapter(t)
+        assert a.route(3) == [1, 3]
+        assert a.sender(3) == 1 and a.sender(1) == 0
+        assert a.work(2) == 4 and a.latency(3) == 2
+
+
+class TestScheduleBasics:
+    def test_makespan(self, chain_schedule):
+        # task 1 ends at 2+3=5; task 2 at 9+5=14
+        assert chain_schedule.makespan == 14
+
+    def test_empty_makespan(self, chain):
+        assert Schedule(chain).makespan == 0
+
+    def test_completion_of(self, chain_schedule):
+        assert chain_schedule.completion_of(1) == 5
+        assert chain_schedule.completion_of(2) == 14
+
+    def test_duplicate_task_rejected(self, chain, chain_schedule):
+        with pytest.raises(ScheduleError):
+            chain_schedule.add(TaskAssignment(1, 1, 0, CommVector([0])))
+
+    def test_wrong_vector_length_rejected(self, chain):
+        s = Schedule(chain)
+        with pytest.raises(ScheduleError):
+            s.add(TaskAssignment(1, 2, 0, CommVector([0])))  # route has 2 links
+
+    def test_missing_task_lookup(self, chain_schedule):
+        with pytest.raises(ScheduleError):
+            chain_schedule[99]
+
+    def test_accessors(self, chain_schedule):
+        assert chain_schedule.processor_of(2) == 2
+        assert chain_schedule.start_of(1) == 2
+        assert chain_schedule.comms_of(2).times == (4, 6)
+
+    def test_tasks_sorted(self, chain_schedule):
+        assert chain_schedule.tasks() == [1, 2]
+
+    def test_tasks_on(self, chain_schedule):
+        assert chain_schedule.tasks_on(1) == [1]
+        assert chain_schedule.tasks_on(2) == [2]
+
+    def test_task_counts(self, chain_schedule):
+        assert chain_schedule.task_counts() == {1: 1, 2: 1}
+
+
+class TestIntervals:
+    def test_link_intervals(self, chain_schedule):
+        ivs = chain_schedule.link_intervals()
+        assert ivs[1] == [(0, 2, 1), (4, 6, 2)]
+        assert ivs[2] == [(6, 9, 2)]
+
+    def test_port_intervals_chain(self, chain_schedule):
+        ivs = chain_schedule.port_intervals()
+        assert ivs[0] == [(0, 2, 1), (4, 6, 2)]  # master = node 0
+        assert ivs[1] == [(6, 9, 2)]
+
+    def test_processor_intervals(self, chain_schedule):
+        ivs = chain_schedule.processor_intervals()
+        assert ivs[1] == [(2, 5, 1)]
+        assert ivs[2] == [(9, 14, 2)]
+
+    def test_star_port_intervals_merge(self):
+        star = Star([(2, 3), (4, 5)])
+        s = Schedule(star)
+        s.add(TaskAssignment(1, 1, 2, CommVector([0])))
+        s.add(TaskAssignment(2, 2, 6, CommVector([2])))
+        ivs = s.port_intervals()
+        assert ivs["master"] == [(0, 2, 1), (2, 6, 2)]
+
+
+class TestTransformations:
+    def test_shift(self, chain_schedule):
+        shifted = chain_schedule.shifted(10)
+        assert shifted.makespan == 24
+        assert shifted[1].comms.times == (10,)
+
+    def test_normalised(self, chain):
+        s = Schedule(chain)
+        s.add(TaskAssignment(1, 1, 7, CommVector([5])))
+        norm = s.normalised()
+        assert norm.earliest_emission == 0
+        assert norm[1].start == 2
+
+    def test_restricted_to(self, chain_schedule):
+        r = chain_schedule.restricted_to([2])
+        assert r.tasks() == [2] and r.makespan == 14
+
+    def test_renumbered(self, chain):
+        s = Schedule(chain)
+        s.add(TaskAssignment(5, 1, 2, CommVector([0])))
+        s.add(TaskAssignment(3, 1, 5, CommVector([2])))
+        rn = s.renumbered()
+        assert rn.tasks() == [1, 2]
+        assert rn[1].first_emission == 0  # earliest emission becomes task 1
+
+    def test_round_trip_dict(self, chain_schedule):
+        d = chain_schedule.to_dict()
+        back = Schedule.from_dict(d)
+        assert back.makespan == chain_schedule.makespan
+        assert back[2].comms.times == (4, 6)
+
+    def test_spider_round_trip_tuple_keys(self):
+        sp = Spider([Chain(c=(1,), w=(2,))])
+        s = Schedule(sp)
+        s.add(TaskAssignment(1, (1, 1), 1, CommVector([0])))
+        back = Schedule.from_dict(s.to_dict())
+        assert back[1].processor == (1, 1)

@@ -1,0 +1,45 @@
+"""Tests for the Fig. 6/7 transformation renderers."""
+
+from repro.platforms.presets import paper_fig2_chain
+from repro.platforms.spec import ProcessorSpec
+from repro.platforms.spider import Spider
+from repro.platforms.star import Star
+from repro.viz.transformation import (
+    node_expansion_to_dot,
+    star_expansion_to_dot,
+    transformation_to_dot,
+)
+
+
+class TestFig7Rendering:
+    def test_fig7_nodes_appear(self):
+        spider = Spider([paper_fig2_chain()])
+        dot = transformation_to_dot(spider, 14)
+        for value in (3, 6, 8, 10, 12):
+            assert f'label="{value}"' in dot
+        assert dot.count('label="2"') == 5  # all links c1=2
+
+    def test_is_valid_dot_shape(self):
+        spider = Spider([paper_fig2_chain()])
+        dot = transformation_to_dot(spider, 14)
+        assert dot.startswith("digraph") and dot.rstrip().endswith("}")
+        assert dot.count("master ->") == 5
+
+
+class TestFig6Rendering:
+    def test_node_ladder(self):
+        dot = node_expansion_to_dot(ProcessorSpec(2, 3), copies=4)
+        # w + q*m with m=3: 3, 6, 9, 12
+        for value in (3, 6, 9, 12):
+            assert f'label="{value}"' in dot
+        assert dot.count("master ->") == 4
+
+    def test_star_expansion(self):
+        star = Star([(2, 3), (5, 2)])
+        dot = star_expansion_to_dot(star, t_lim=12)
+        # child 1 (m=3): 3, 6, 9;  child 2 (m=5): 2, 7
+        assert dot.count("master ->") == 5
+
+    def test_empty_expansion(self):
+        dot = star_expansion_to_dot(Star([(5, 5)]), t_lim=4)
+        assert dot.count("master ->") == 0

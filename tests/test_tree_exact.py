@@ -1,0 +1,72 @@
+"""Cover heuristic vs the exact optimum on general trees.
+
+The exhaustive baseline works on any platform through the adapter layer, so
+small trees get exact optima — which bounds the loss of the §8 spider-cover
+heuristic from both sides: never better than optimal, optimal whenever the
+tree already is a spider.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.bruteforce import optimal_makespan
+from repro.core.feasibility import check
+from repro.platforms.generators import random_tree
+from repro.platforms.tree import Tree
+from repro.trees.heuristic import best_path_cover, tree_schedule_by_cover
+
+
+class TestExactTreeOptima:
+    def test_bruteforce_runs_on_trees(self):
+        t = Tree([(0, 1, 2, 3), (1, 2, 1, 4), (1, 3, 2, 5)])
+        res = optimal_makespan(t, 3)
+        assert res.makespan == 9
+        assert check(res.schedule) == []
+
+    def test_cover_never_beats_exact(self):
+        rng = random.Random(7)
+        for seed in range(20):
+            t = random_tree(rng.randint(3, 4), seed=seed)
+            for n in (2, 4):
+                exact = optimal_makespan(t, n).makespan
+                cover = tree_schedule_by_cover(t, n).makespan
+                assert cover >= exact
+
+    def test_suboptimal_instances_exist(self):
+        """Covering provably loses somewhere: find at least one small tree
+        where the cover heuristic is strictly above the exact optimum."""
+        rng = random.Random(0)
+        found = 0
+        for seed in range(60):
+            t = random_tree(rng.randint(3, 4), seed=seed)
+            if t.is_spider():
+                continue
+            for n in (3, 5):
+                exact = optimal_makespan(t, n).makespan
+                cover = tree_schedule_by_cover(t, n).makespan
+                assert cover >= exact
+                if cover > exact:
+                    found += 1
+            if found:
+                break
+        assert found > 0, "expected the cover heuristic to lose somewhere"
+
+    def test_cover_optimal_on_spider_trees(self):
+        rng = random.Random(11)
+        checked = 0
+        for seed in range(30):
+            t = random_tree(rng.randint(2, 4), seed=seed)
+            if not t.is_spider():
+                continue
+            checked += 1
+            for n in (2, 4):
+                exact = optimal_makespan(t, n).makespan
+                cover = tree_schedule_by_cover(t, n).makespan
+                assert cover == exact, (seed, n)
+        assert checked >= 3  # the sweep must actually exercise spiders
+
+    def test_cover_keeps_everything_on_spiders(self):
+        t = Tree([(0, 1, 1, 2), (1, 2, 2, 3), (0, 3, 2, 1)])
+        assert t.is_spider()
+        assert best_path_cover(t).uncovered == set()

@@ -1,0 +1,157 @@
+"""Tests for visualisation (ASCII/SVG/DOT) and JSON serialisation."""
+
+import json
+
+import pytest
+
+from repro.core.chain import schedule_chain
+from repro.core.schedule import Schedule
+from repro.core.spider import spider_schedule
+from repro.core.types import ReproError
+from repro.io.json_io import (
+    load_platform,
+    load_schedule,
+    platform_from_dict,
+    save_platform,
+    save_schedule,
+)
+from repro.platforms.chain import Chain
+from repro.platforms.presets import paper_fig2_chain, paper_fig5_spider
+from repro.platforms.spider import Spider
+from repro.platforms.star import Star
+from repro.platforms.tree import Tree
+from repro.viz.dot import platform_to_dot
+from repro.viz.gantt import render_gantt, render_timeline
+from repro.viz.svg import render_svg, save_svg
+
+
+@pytest.fixture
+def fig2_schedule():
+    return schedule_chain(paper_fig2_chain(), 5)
+
+
+class TestGantt:
+    def test_contains_all_lanes(self, fig2_schedule):
+        text = render_gantt(fig2_schedule)
+        assert "link 1" in text and "link 2" in text
+        assert "proc 1" in text and "proc 2" in text
+
+    def test_reports_makespan_and_counts(self, fig2_schedule):
+        text = render_gantt(fig2_schedule)
+        assert "makespan=14" in text
+        assert "tasks=5" in text
+
+    def test_empty_schedule(self):
+        assert "(empty schedule)" in render_gantt(Schedule(paper_fig2_chain()))
+
+    def test_width_respected(self, fig2_schedule):
+        text = render_gantt(fig2_schedule, width=40)
+        assert max(len(l) for l in text.splitlines()) <= 40 + 20  # label + bars
+
+    def test_no_links_option(self, fig2_schedule):
+        text = render_gantt(fig2_schedule, show_links=False)
+        assert "link" not in text
+
+    def test_spider_gantt(self):
+        s = spider_schedule(paper_fig5_spider(), 6)
+        text = render_gantt(s)
+        assert "proc (1, 1)" in text
+
+    def test_timeline_lists_all_tasks(self, fig2_schedule):
+        text = render_timeline(fig2_schedule)
+        assert text.count("task ") == 5
+        assert "arrives" in text
+
+
+class TestSvg:
+    def test_valid_xmlish_and_complete(self, fig2_schedule):
+        svg = render_svg(fig2_schedule, title="Fig. 2")
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert "Fig. 2" in svg
+        # one exec rect per task at least
+        assert svg.count("<rect") >= 5
+
+    def test_delayed_task_dashed(self, fig2_schedule):
+        assert "stroke-dasharray" in render_svg(fig2_schedule)
+
+    def test_empty(self):
+        svg = render_svg(Schedule(paper_fig2_chain()))
+        assert "empty" in svg
+
+    def test_save(self, fig2_schedule, tmp_path):
+        path = save_svg(fig2_schedule, str(tmp_path / "out.svg"))
+        content = open(path).read()
+        assert "</svg>" in content
+
+    def test_escapes_title(self, fig2_schedule):
+        svg = render_svg(fig2_schedule, title="a<b>&c")
+        assert "a&lt;b&gt;&amp;c" in svg
+
+
+class TestDot:
+    def test_chain(self):
+        dot = platform_to_dot(Chain(c=(2, 3), w=(3, 5)))
+        assert "digraph" in dot
+        assert 'master -> p1 [label="c=2"]' in dot
+        assert 'label="w=5"' in dot
+
+    def test_star(self):
+        dot = platform_to_dot(Star([(1, 2), (3, 4)]))
+        assert dot.count("master ->") == 2
+
+    def test_spider(self):
+        dot = platform_to_dot(paper_fig5_spider())
+        assert dot.count("master ->") == 3
+
+    def test_tree(self):
+        t = Tree([(0, 1, 1, 2), (1, 2, 3, 4)])
+        dot = platform_to_dot(t)
+        assert "master -> n1" in dot and "n1 -> n2" in dot
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(Exception):
+            platform_to_dot(object())
+
+
+class TestJsonIo:
+    @pytest.mark.parametrize(
+        "platform",
+        [
+            Chain(c=(2, 3), w=(3, 5)),
+            Star([(1, 2), (3, 4)]),
+            paper_fig5_spider(),
+            Tree([(0, 1, 1, 2), (1, 2, 3, 4)]),
+        ],
+        ids=["chain", "star", "spider", "tree"],
+    )
+    def test_platform_round_trip(self, platform, tmp_path):
+        path = save_platform(platform, tmp_path / "p.json")
+        back = load_platform(path)
+        assert back.to_dict() == platform.to_dict()
+
+    def test_integers_stay_integers(self, tmp_path):
+        path = save_platform(Chain(c=(2,), w=(3,)), tmp_path / "p.json")
+        back = load_platform(path)
+        assert isinstance(back.c[0], int)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError):
+            platform_from_dict({"kind": "hypercube"})
+
+    def test_schedule_round_trip(self, fig2_schedule, tmp_path):
+        path = save_schedule(fig2_schedule, tmp_path / "s.json")
+        back = load_schedule(path)
+        assert back.makespan == fig2_schedule.makespan
+        assert back.task_counts() == fig2_schedule.task_counts()
+
+    def test_spider_schedule_round_trip(self, tmp_path):
+        s = spider_schedule(paper_fig5_spider(), 4)
+        back = load_schedule(save_schedule(s, tmp_path / "s.json"))
+        assert back.makespan == s.makespan
+        assert back[1].processor == s[1].processor
+
+    def test_json_is_plain(self, fig2_schedule, tmp_path):
+        path = save_schedule(fig2_schedule, tmp_path / "s.json")
+        data = json.loads(open(path).read())
+        assert data["schema"] == 1
+        assert isinstance(data["assignments"], list)
