@@ -1,0 +1,8 @@
+"""Benchmark harness package.
+
+Making this directory a package does two jobs at once: the benchmark
+``conftest.py`` is imported as ``benchmarks.conftest`` (so it no longer
+shadows the test suite's top-level ``conftest`` module in ``sys.modules``),
+and the regression checker is runnable as
+``python -m benchmarks.check_regressions``.
+"""

@@ -24,7 +24,7 @@ from repro.core.schedule import Schedule, TaskAssignment
 from repro.baselines.heuristics import greedy_min_makespan
 from repro.platforms.generators import random_chain
 
-from conftest import report
+from benchmarks.common import report
 
 TRIALS = 20
 N_TASKS = 10

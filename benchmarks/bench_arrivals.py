@@ -14,7 +14,7 @@ from repro.core.feasibility import check
 from repro.platforms.presets import seti_like_spider
 from repro.sim.online import simulate_online
 
-from conftest import report
+from benchmarks.common import report
 
 N_TASKS = 24
 

@@ -17,7 +17,7 @@ from repro.core.spider import spider_makespan
 from repro.platforms.generators import random_chain, random_spider
 from repro.platforms.presets import paper_fig2_chain, paper_fig5_spider
 
-from conftest import report
+from benchmarks.common import report
 
 N_SERIES = [50, 200, 800, 2000]
 

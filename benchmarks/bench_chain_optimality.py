@@ -12,7 +12,7 @@ from repro.baselines.bruteforce import optimal_makespan
 from repro.core.chain import chain_makespan, schedule_chain
 from repro.platforms.generators import random_chain
 
-from conftest import report
+from benchmarks.common import report
 
 PROFILES = ["balanced", "comm_bound", "cpu_bound"]
 TRIALS_PER_PROFILE = 25

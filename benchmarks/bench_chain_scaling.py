@@ -12,7 +12,7 @@ from repro.core.chain import schedule_chain
 from repro.platforms.chain import Chain
 from repro.platforms.generators import random_chain
 
-from conftest import report
+from benchmarks.common import report
 
 N_VALUES = [64, 128, 256, 512, 1024, 2048]
 P_VALUES = [2, 4, 8, 16, 32, 64, 128]
@@ -51,3 +51,33 @@ def test_wallclock_large_instance(benchmark):
     chain = Chain.homogeneous(32, 2, 3)
     schedule = benchmark(schedule_chain, chain, 2048)
     assert schedule.n_tasks == 2048
+
+
+def test_wallclock_batch_ladder(benchmark):
+    """The same chain driven through the batch engine as a capacity ladder
+    (one scenario per n); answers must match the direct solver."""
+    from repro.batch import BatchRunner, Scenario
+    from repro.io.json_io import platform_to_dict
+
+    chain = random_chain(FIXED_P, seed=11)
+    pdict = platform_to_dict(chain)
+    scenarios = [
+        Scenario(f"n{n}", pdict, "makespan", n=n) for n in N_VALUES[:4]
+    ]
+
+    def ladder():
+        results = BatchRunner(workers=1).run(scenarios)
+        assert all(r.ok for r in results)
+        return results
+
+    results = benchmark.pedantic(ladder, rounds=1, iterations=1)
+    expected = [schedule_chain(chain, n).makespan for n in N_VALUES[:4]]
+    assert [r.makespan for r in results] == expected
+    report(
+        "E4c  chain capacity ladder through the batch engine",
+        format_table(
+            ["n", "makespan", "seconds"],
+            [(n, r.makespan, f"{r.wall_s:.5f}")
+             for n, r in zip(N_VALUES, results)],
+        ),
+    )

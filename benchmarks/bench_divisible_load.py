@@ -13,7 +13,7 @@ from repro.core.chain import chain_makespan
 from repro.platforms.generators import random_chain
 from repro.platforms.presets import paper_fig2_chain
 
-from conftest import report
+from benchmarks.common import report
 
 N_SERIES = [2, 8, 32, 128, 512]
 

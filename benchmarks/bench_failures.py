@@ -10,7 +10,7 @@ from repro.analysis.metrics import format_table
 from repro.platforms.presets import seti_like_spider
 from repro.sim.faults import WorkerFailure, assert_trace_exclusive, simulate_with_failures
 
-from conftest import report
+from benchmarks.common import report
 
 N_TASKS = 25
 

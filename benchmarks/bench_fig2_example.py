@@ -16,7 +16,7 @@ from repro.platforms.presets import (
 from repro.sim.executor import verify_by_execution
 from repro.viz.gantt import render_gantt
 
-from conftest import report
+from benchmarks.common import report
 
 
 def test_fig2_schedule(benchmark):

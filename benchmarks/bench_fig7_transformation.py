@@ -16,7 +16,7 @@ from repro.platforms.presets import (
 )
 from repro.platforms.spider import Spider
 
-from conftest import report
+from benchmarks.common import report
 
 
 def test_fig7_fork_nodes(benchmark):

@@ -1,25 +1,31 @@
 """E8 — the fork-graph (star) subroutine of §6 (Beaumont et al. [2]).
 
 Regenerates: (a) task-count parity with the exhaustive baseline over a
-deadline sweep on random stars; (b) agreement between the paper's greedy
-allocator and Moore–Hodgson (the textbook optimum) over a large randomized
-population; (c) a throughput datum for the allocator at volunteer scale.
+deadline sweep on random stars; (b) three-way agreement between the paper's
+greedy, the incremental allocator (bit-identical) and Moore–Hodgson (the
+textbook optimum) over a large randomized population; (c) a throughput
+datum for the allocator at volunteer scale, driven through the batch
+engine, with the incremental-vs-greedy structure-op ratio as the measured
+shape.
 """
 
 import random
 
 from repro.analysis.metrics import format_table
 from repro.baselines.bruteforce import max_tasks_within as bf_max_tasks
+from repro.batch import BatchRunner, Scenario
 from repro.core.fork import (
     VirtualSlave,
     allocate_greedy,
+    allocate_incremental,
     allocate_moore_hodgson,
     fork_max_tasks,
-    fork_schedule_deadline,
 )
+from repro.io.json_io import platform_to_dict
 from repro.platforms.generators import random_star
 
-from conftest import report
+from benchmarks.common import report
+from benchmarks.kernels import kernel_allocator_greedy, kernel_allocator_incremental
 
 
 def _exhaustive_parity(seed: int, trials: int = 25) -> tuple[int, int]:
@@ -45,9 +51,13 @@ def _allocator_agreement(seed: int, trials: int = 300) -> tuple[int, int]:
             for i in range(rng.randint(0, 10))
         ]
         t_lim = rng.randint(0, 25)
+        g = allocate_greedy(slaves, t_lim)
+        inc = allocate_incremental(slaves, t_lim)
+        m = allocate_moore_hodgson(slaves, t_lim)
         agree += (
-            allocate_greedy(slaves, t_lim).n_tasks
-            == allocate_moore_hodgson(slaves, t_lim).n_tasks
+            g.n_tasks == m.n_tasks
+            and inc.accepted == g.accepted
+            and inc.emissions == g.emissions
         )
     return trials, agree
 
@@ -61,19 +71,46 @@ def test_fork_vs_exhaustive(benchmark):
     )
 
 
-def test_greedy_equals_moore_hodgson(benchmark):
+def test_allocators_three_way_agreement(benchmark):
     trials, agree = benchmark(_allocator_agreement, 82)
     assert agree == trials
     report(
-        "E8b  paper greedy vs Moore-Hodgson allocator cardinality",
+        "E8b  greedy / incremental / Moore-Hodgson allocator agreement",
         format_table(["instances", "agreements"], [(trials, agree)])
-        + "\nshape: the published greedy is cardinality-optimal — confirmed",
+        + "\nshape: the published greedy is cardinality-optimal and the "
+        "incremental allocator reproduces it bit-for-bit — confirmed",
     )
 
 
 def test_fork_volunteer_scale(benchmark):
-    """Allocator throughput on a 60-child volunteer star."""
+    """Deadline solve on a 60-child volunteer star through the batch engine,
+    plus the allocator-only kernels tracked in BENCH_spider.json."""
     star = random_star(60, profile="volunteer", seed=83)
-    t_lim = 120
-    schedule = benchmark(fork_schedule_deadline, star, t_lim)
-    assert schedule.n_tasks > 20  # enough work actually placed
+    scenario = Scenario(
+        "volunteer", platform_to_dict(star), "deadline", t_lim=120
+    )
+
+    def solve():
+        (result,) = BatchRunner(workers=1).run([scenario])
+        return result
+
+    result = benchmark(solve)
+    assert result.ok and result.n_tasks > 20  # enough work actually placed
+
+    inc = kernel_allocator_incremental()
+    ref = kernel_allocator_greedy()
+    assert inc["accepted"] == ref["accepted"]
+    assert inc["structure_ops"] < ref["structure_ops"]
+    report(
+        "E8c  allocator work at volunteer scale (60 children, Tlim=240)",
+        format_table(
+            ["allocator", "candidates", "structure ops", "seconds"],
+            [
+                ("greedy (reference)", ref["candidates"], ref["structure_ops"],
+                 f"{ref['seconds']:.4f}"),
+                ("incremental", inc["candidates"], inc["structure_ops"],
+                 f"{inc['seconds']:.4f}"),
+            ],
+        )
+        + f"\nstructure-op ratio: {ref['structure_ops'] / inc['structure_ops']:.1f}x",
+    )

@@ -16,7 +16,7 @@ from repro.core.chain import chain_makespan
 from repro.core.spider import spider_makespan
 from repro.platforms.generators import random_chain, random_spider
 
-from conftest import report
+from benchmarks.common import report
 
 TRIALS = 12
 N_TASKS = 12

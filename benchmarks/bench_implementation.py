@@ -12,7 +12,7 @@ from repro.core.chain import schedule_chain
 from repro.core.chain_fast import schedule_chain_fast
 from repro.platforms.generators import random_chain
 
-from conftest import report
+from benchmarks.common import report
 
 P_VALUES = [8, 16, 32, 64]
 N_TASKS = 200

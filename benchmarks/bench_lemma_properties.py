@@ -12,7 +12,7 @@ from repro.core.chain import _BackwardState, schedule_chain_deadline
 from repro.core.commvector import CommVector
 from repro.platforms.generators import random_chain
 
-from conftest import report
+from benchmarks.common import report
 
 
 def _lemma1_trials(seed: int, trials: int = 200) -> tuple[int, int]:

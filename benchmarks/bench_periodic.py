@@ -15,7 +15,7 @@ from repro.analysis.steady_state import star_steady_state
 from repro.core.feasibility import check
 from repro.platforms.star import Star
 
-from conftest import report
+from benchmarks.common import report
 
 STAR = Star([(1, 4), (2, 3), (1, 6), (3, 2)])
 PERIOD_COUNTS = [1, 2, 4, 8, 16]

@@ -13,7 +13,7 @@ from repro.platforms.presets import seti_like_spider
 from repro.sim.executor import verify_by_execution
 from repro.sim.online import ONLINE_POLICIES, simulate_online
 
-from conftest import report
+from benchmarks.common import report
 
 N_TASKS = 30
 

@@ -2,21 +2,31 @@
 
 Regenerates: (a) task-count parity with the exhaustive baseline on small
 spiders over a deadline sweep; (b) makespan parity on small spiders; (c) a
-wall-clock scaling series in n for the full deadline pipeline, whose fitted
-exponent must stay ≤ ~2 plus the bisection's log factor.
+wall-clock scaling series in n for the full deadline pipeline — driven
+through the batch engine — whose fitted exponent must stay ≤ ~2 plus the
+bisection's log factor; (d) the headline speedup of the incremental
+allocator + warm-started bisection over the paper-literal greedy pipeline
+at acceptance scale (16 legs × 4 processors, n = 512), the same kernels
+recorded in ``BENCH_spider.json``.
 """
 
 import random
 
-from repro.analysis.complexity import fit_power_law, timed
+from repro.analysis.complexity import fit_power_law
 from repro.analysis.metrics import format_table
 from repro.baselines.bruteforce import max_tasks_within as bf_max_tasks
 from repro.baselines.bruteforce import optimal_makespan
-from repro.core.spider import spider_makespan, spider_max_tasks, spider_schedule_deadline
+from repro.batch import BatchRunner, Scenario
+from repro.core.spider import spider_makespan, spider_max_tasks
+from repro.io.json_io import platform_to_dict
 from repro.platforms.generators import random_spider
 from repro.platforms.presets import seti_like_spider
 
-from conftest import report
+from benchmarks.common import report
+from benchmarks.kernels import (
+    kernel_spider_schedule_incremental,
+    kernel_spider_schedule_legacy,
+)
 
 
 def _deadline_parity(seed: int, trials: int = 20) -> tuple[int, int]:
@@ -68,19 +78,23 @@ def test_spider_optimality_tables(benchmark):
 
 
 def test_spider_deadline_scaling(benchmark):
-    """Wall clock of one deadline run vs n on the SETI-like spider; the
-    paper's bound for the full pipeline is O(n²p²)."""
+    """Wall clock of one deadline run vs n on the SETI-like spider, driven
+    as a batch of scenarios; the paper's bound for the full pipeline is
+    O(n²p²)."""
     spider = seti_like_spider()
+    pdict = platform_to_dict(spider)
     ns = [8, 16, 32, 64, 128]
 
     def sweep():
-        times = []
-        for n in ns:
-            t_lim = spider.t_infinity(n)
-            times.append(
-                timed(lambda n=n, t=t_lim: spider_schedule_deadline(spider, t, n), 2)
-            )
-        return times
+        scenarios = [
+            Scenario(f"n{n}", pdict, "deadline", n=n, t_lim=spider.t_infinity(n))
+            for n in ns
+        ]
+        results = BatchRunner(workers=1).run(scenarios)
+        assert all(r.ok for r in results)
+        # best-of-2 per point to stabilise the fit
+        again = BatchRunner(workers=1).run(scenarios)
+        return [min(a.wall_s, b.wall_s) for a, b in zip(results, again)]
 
     times = benchmark.pedantic(sweep, rounds=1, iterations=1)
     fit = fit_power_law(ns, times)
@@ -89,4 +103,41 @@ def test_spider_deadline_scaling(benchmark):
         "E5b  spider deadline-run wall clock vs n (Theorem 2: <= n^2 p^2)",
         format_table(["n", "seconds"], [(n, f"{t:.5f}") for n, t in zip(ns, times)])
         + f"\nfit: {fit}",
+    )
+
+
+def test_spider_incremental_speedup(benchmark):
+    """Acceptance kernel: the incremental-allocator warm pipeline must beat
+    the paper-literal greedy pipeline ≥5× on the 16-leg × 4-processor
+    spider at n = 512 — and the allocator counters must show the
+    sub-quadratic work directly (deterministic, noise-free)."""
+    fast = benchmark.pedantic(
+        kernel_spider_schedule_incremental, rounds=1, iterations=1
+    )
+    legacy = kernel_spider_schedule_legacy()
+    assert legacy["makespan"] == fast["makespan"], "optimisation changed the answer"
+    ops_ratio = legacy["alloc_structure_ops"] / max(1, fast["alloc_structure_ops"])
+    assert ops_ratio >= 8, f"allocator work ratio collapsed: {ops_ratio:.1f}x"
+    wall_ratio = legacy["seconds"] / fast["seconds"]
+    if wall_ratio < 5:  # borderline: take one more sample of BOTH kernels
+        fast_again = kernel_spider_schedule_incremental()
+        legacy_again = kernel_spider_schedule_legacy()
+        fast["seconds"] = min(fast["seconds"], fast_again["seconds"])
+        legacy["seconds"] = min(legacy["seconds"], legacy_again["seconds"])
+        wall_ratio = legacy["seconds"] / fast["seconds"]
+    assert wall_ratio >= 5, f"wall-clock speedup below acceptance: {wall_ratio:.2f}x"
+    report(
+        "E5c  incremental vs legacy spider pipeline (16 legs x 4 procs, n=512)",
+        format_table(
+            ["pipeline", "seconds", "alloc structure ops"],
+            [
+                ("greedy (paper-literal)", f"{legacy['seconds']:.3f}",
+                 legacy["alloc_structure_ops"]),
+                ("incremental + warm", f"{fast['seconds']:.3f}",
+                 fast["alloc_structure_ops"]),
+            ],
+        )
+        + f"\nspeedup: {wall_ratio:.2f}x wall, {ops_ratio:.1f}x allocator ops"
+        + "\nbaseline: benchmarks/BENCH_spider.json "
+        "(refresh: python -m benchmarks.check_regressions --update)",
     )

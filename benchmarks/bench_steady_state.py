@@ -19,7 +19,7 @@ from repro.core.spider import spider_makespan
 from repro.platforms.presets import paper_fig2_chain, paper_fig5_spider
 from repro.platforms.star import Star
 
-from conftest import report
+from benchmarks.common import report
 
 N_SERIES = [4, 16, 64, 256]
 

@@ -18,7 +18,7 @@ from repro.trees.heuristic import (
     tree_schedule_by_cover,
 )
 
-from conftest import report
+from benchmarks.common import report
 
 N_TASKS = 24
 TRIALS = 8

@@ -1,0 +1,150 @@
+"""Performance-regression gate: fresh kernel runs vs the committed baseline.
+
+Usage (opt-in, not part of the default pytest run)::
+
+    python -m benchmarks.check_regressions            # compare vs baseline
+    python -m benchmarks.check_regressions --update   # rewrite the baseline
+    python -m benchmarks.check_regressions --skip-legacy   # fast paths only
+
+Every kernel in :mod:`benchmarks.kernels` is run fresh; a kernel slower than
+``--threshold`` (default 2×) its committed ``BENCH_spider.json`` seconds
+fails the check.  Operation counters are compared *exactly* — they are
+deterministic, so any drift means an algorithmic change that must be
+re-baselined deliberately (run with ``--update``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parents[1]
+if str(_REPO / "src") not in sys.path:  # `python -m benchmarks.…` needs src/
+    sys.path.insert(0, str(_REPO / "src"))
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_spider.json"
+
+#: counters that may legitimately wobble run-to-run (none today — wall clock
+#: is the only non-deterministic field, and it is threshold-compared).
+_TIMING_FIELDS = {"seconds"}
+
+
+def run_kernels(skip_legacy: bool = False) -> dict[str, dict]:
+    from benchmarks.kernels import KERNELS, LEGACY_KERNELS
+
+    out: dict[str, dict] = {}
+    for name, kernel in KERNELS.items():
+        if skip_legacy and name in LEGACY_KERNELS:
+            continue
+        print(f"  running {name} ...", flush=True)
+        out[name] = kernel()
+    return out
+
+
+def build_payload(kernels: dict[str, dict]) -> dict:
+    payload: dict = {"schema": 1, "kernels": kernels}
+    inc = kernels.get("spider_schedule_incremental_16x4_n512")
+    leg = kernels.get("spider_schedule_legacy_16x4_n512")
+    if inc and leg and inc["seconds"] > 0:
+        payload["speedup"] = {
+            "spider_schedule_16x4_n512": round(leg["seconds"] / inc["seconds"], 2),
+            "allocator_structure_ops_ratio": round(
+                leg["alloc_structure_ops"] / max(1, inc["alloc_structure_ops"]), 2
+            ),
+        }
+    return payload
+
+
+def compare(
+    fresh: dict[str, dict], baseline: dict[str, dict], threshold: float
+) -> list[str]:
+    """Returns a list of human-readable failures (empty = pass)."""
+    failures: list[str] = []
+    for name, measured in fresh.items():
+        base = baseline.get(name)
+        if base is None:
+            failures.append(f"{name}: no committed baseline (run with --update)")
+            continue
+        ratio = measured["seconds"] / max(base["seconds"], 1e-9)
+        status = "ok" if ratio <= threshold else "REGRESSION"
+        print(
+            f"  {name}: {measured['seconds']:.4f}s vs baseline "
+            f"{base['seconds']:.4f}s ({ratio:.2f}x) {status}"
+        )
+        if ratio > threshold:
+            failures.append(
+                f"{name}: {ratio:.2f}x slower than baseline "
+                f"({measured['seconds']:.4f}s vs {base['seconds']:.4f}s)"
+            )
+        for key, base_value in base.items():
+            if key in _TIMING_FIELDS:
+                continue
+            if key not in measured:
+                failures.append(
+                    f"{name}: counter {key!r} present in baseline but missing "
+                    f"from the fresh run (kernel output changed; --update?)"
+                )
+            elif measured[key] != base_value:
+                failures.append(
+                    f"{name}: counter {key!r} drifted "
+                    f"({measured[key]} vs baseline {base_value})"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.check_regressions", description=__doc__
+    )
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite the committed baseline"
+    )
+    parser.add_argument(
+        "--skip-legacy",
+        action="store_true",
+        help="skip the slow reference-path kernels",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="max allowed seconds ratio vs baseline (default 2.0)",
+    )
+    parser.add_argument(
+        "--baseline", default=str(BASELINE_PATH), help="baseline JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    print("running tracked kernels:")
+    fresh = run_kernels(skip_legacy=args.skip_legacy)
+
+    if args.update:
+        payload = build_payload(fresh)
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline written: {args.baseline}")
+        return 0
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)["kernels"]
+    except FileNotFoundError:
+        print(f"no baseline at {args.baseline}; run with --update first")
+        return 2
+
+    print("comparing against baseline:")
+    failures = compare(fresh, baseline, args.threshold)
+    if failures:
+        print("\nFAILURES:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("all kernels within threshold; counters exact")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the table/series it regenerates (visible with
+``pytest -s``) and *asserts the paper's shape claims* so a regression in any
+algorithm fails the harness loudly rather than silently changing numbers.
+"""
+
+from __future__ import annotations
+
+
+def report(title: str, body: str) -> None:
+    """Uniform experiment printout."""
+    bar = "=" * max(len(title), 8)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

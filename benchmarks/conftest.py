@@ -1,19 +1,15 @@
-"""Shared helpers for the benchmark harness.
+"""Pytest fixtures for the benchmark harness (see :mod:`benchmarks.common`).
 
-Every benchmark prints the table/series it regenerates (visible with
-``pytest -s``) and *asserts the paper's shape claims* so a regression in any
-algorithm fails the harness loudly rather than silently changing numbers.
+This file is imported by pytest as ``benchmarks.conftest`` (the package
+``__init__.py`` exists precisely so it does not claim the top-level
+``conftest`` module name that the ``tests/`` suite imports from).
 """
 
 from __future__ import annotations
 
 import pytest
 
-
-def report(title: str, body: str) -> None:
-    """Uniform experiment printout."""
-    bar = "=" * max(len(title), 8)
-    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+from benchmarks.common import report
 
 
 @pytest.fixture

@@ -1,0 +1,33 @@
+"""Batch scenario engine — fan many solves across workers.
+
+The core algorithms answer one question at a time; serving real traffic
+means answering thousands — deadline sweeps, capacity ladders, per-tenant
+platforms.  This subsystem runs a list of :class:`Scenario` descriptions
+through :class:`BatchRunner`, which
+
+* groups scenarios by platform so each worker parses a platform once and
+  reuses warm state (monotone per-leg caps) across a sorted deadline sweep,
+* fans the groups over ``concurrent.futures`` workers (or runs them inline
+  for ``workers <= 1``), and
+* returns structured :class:`ScenarioResult` rows that serialise to JSON —
+  the same rows the benchmark harness records in ``BENCH_spider.json``.
+"""
+
+from .scenarios import (
+    Scenario,
+    ScenarioResult,
+    load_scenarios,
+    save_results,
+    scenarios_from_dict,
+)
+from .runner import BatchRunner, run_batch
+
+__all__ = [
+    "BatchRunner",
+    "Scenario",
+    "ScenarioResult",
+    "load_scenarios",
+    "run_batch",
+    "save_results",
+    "scenarios_from_dict",
+]

@@ -1,0 +1,276 @@
+"""The batch runner: grouped, warm-started, worker-parallel solving.
+
+Execution model
+---------------
+
+Scenarios are grouped by platform (``Scenario.platform_key``).  One group is
+the unit of dispatch: a worker parses the platform once, answers every
+scenario of the group, and — for *deadline* scenarios on spiders — processes
+them in descending-``t_lim`` order so each run's per-leg counts warm the
+next (smaller) deadline, exactly like the bisection probes inside
+:func:`repro.core.spider.spider_schedule`.
+
+``workers <= 1`` (the default) runs everything inline — deterministic,
+fork-free, and what the unit tests exercise.  ``workers > 1`` fans groups
+over ``concurrent.futures`` (processes by default for CPU-bound Python,
+threads on request).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Iterable, Optional, Sequence
+
+from ..core.chain import ChainRunStats
+from ..core.chain_fast import schedule_chain_deadline_fast, schedule_chain_fast
+from ..core.fork import AllocStats, fork_schedule, fork_schedule_deadline
+from ..core.spider import (
+    SpiderRunStats,
+    spider_schedule,
+    spider_schedule_deadline,
+)
+from ..io.json_io import platform_from_dict
+from ..platforms.chain import Chain
+from ..platforms.spider import Spider
+from ..platforms.star import Star
+from .scenarios import BatchError, Scenario, ScenarioResult
+
+_IndexedScenario = tuple[int, Scenario]
+_IndexedResult = tuple[int, ScenarioResult]
+
+
+def _spider_stats_dict(stats: SpiderRunStats) -> dict:
+    return {
+        "probes": stats.probes,
+        "probes_short_circuited": stats.probes_short_circuited,
+        "legs_scheduled": stats.legs_scheduled,
+        "legs_skipped": stats.legs_skipped,
+        "fork_nodes": stats.fork_nodes,
+        "chain_vector_elements": stats.chain.vector_elements,
+        "alloc_candidates": stats.alloc.candidates,
+        "alloc_structure_ops": stats.alloc.structure_ops,
+    }
+
+
+def _chain_stats_dict(stats: ChainRunStats) -> dict:
+    return {
+        "tasks_placed": stats.tasks_placed,
+        "candidates_evaluated": stats.candidates_evaluated,
+        "vector_elements": stats.vector_elements,
+        "comparisons": stats.comparisons,
+    }
+
+
+def _alloc_stats_dict(stats: AllocStats) -> dict:
+    return {
+        "alloc_candidates": stats.candidates,
+        "alloc_structure_ops": stats.structure_ops,
+    }
+
+
+def _solve_spider(
+    spider: Spider, sc: Scenario, leg_caps: Optional[dict[int, int]]
+) -> tuple[ScenarioResult, Optional[dict[int, int]]]:
+    stats = SpiderRunStats()
+    if sc.kind == "makespan":
+        sched = spider_schedule(spider, sc.n, allocator=sc.allocator, stats=stats)
+        result = ScenarioResult(
+            sc.id, True, sc.kind,
+            makespan=sched.makespan, n_tasks=sched.n_tasks,
+            stats=_spider_stats_dict(stats),
+        )
+        return result, None
+    res = spider_schedule_deadline(
+        spider, sc.t_lim, sc.n,
+        allocator=sc.allocator, stats=stats, leg_caps=leg_caps,
+    )
+    result = ScenarioResult(
+        sc.id, True, sc.kind,
+        makespan=res.schedule.makespan, n_tasks=res.n_tasks, t_lim=sc.t_lim,
+        stats=_spider_stats_dict(stats),
+    )
+    return result, dict(res.leg_counts)
+
+
+def _solve_chain(chain: Chain, sc: Scenario) -> ScenarioResult:
+    stats = ChainRunStats()
+    if sc.kind == "makespan":
+        sched = schedule_chain_fast(chain, sc.n, stats=stats)
+        return ScenarioResult(
+            sc.id, True, sc.kind,
+            makespan=sched.makespan, n_tasks=sched.n_tasks,
+            stats=_chain_stats_dict(stats),
+        )
+    sched = schedule_chain_deadline_fast(chain, sc.t_lim, sc.n, stats=stats)
+    return ScenarioResult(
+        sc.id, True, sc.kind,
+        makespan=sched.makespan, n_tasks=sched.n_tasks, t_lim=sc.t_lim,
+        stats=_chain_stats_dict(stats),
+    )
+
+
+def _solve_star(star: Star, sc: Scenario) -> ScenarioResult:
+    stats = AllocStats()
+    if sc.kind == "makespan":
+        sched = fork_schedule(star, sc.n, allocator=sc.allocator, stats=stats)
+        return ScenarioResult(
+            sc.id, True, sc.kind,
+            makespan=sched.makespan, n_tasks=sched.n_tasks,
+            stats=_alloc_stats_dict(stats),
+        )
+    sched = fork_schedule_deadline(
+        star, sc.t_lim, sc.n, allocator=sc.allocator, stats=stats
+    )
+    return ScenarioResult(
+        sc.id, True, sc.kind,
+        makespan=sched.makespan, n_tasks=sched.n_tasks, t_lim=sc.t_lim,
+        stats=_alloc_stats_dict(stats),
+    )
+
+
+_NO_CAPS = object()
+
+
+def _caps_cover(caps_budget: object, n: Optional[int]) -> bool:
+    """Warm caps recorded under ``caps_budget`` stay valid for budget ``n``
+    iff the recording budget was at least as permissive."""
+    if caps_budget is _NO_CAPS:
+        return False
+    if caps_budget is None:  # recorded without a budget: counts are uncapped
+        return True
+    return n is not None and n <= caps_budget  # type: ignore[operator]
+
+
+def run_group(group: Sequence[_IndexedScenario]) -> list[_IndexedResult]:
+    """Solve one platform group (module-level so process pools can pickle).
+
+    Deadline scenarios on spiders run in descending ``t_lim`` order and
+    carry warm per-leg caps forward — per-leg counts are monotone in
+    ``t_lim``, so a larger deadline's counts bound every smaller one.
+    """
+    if not group:
+        return []
+    try:
+        platform = platform_from_dict(group[0][1].platform)
+    except Exception as exc:  # noqa: BLE001 - bad platform fails its group only
+        return [
+            (index, ScenarioResult(
+                sc.id, False, sc.kind, error=f"{type(exc).__name__}: {exc}"
+            ))
+            for index, sc in group
+        ]
+
+    ordered: list[_IndexedScenario] = list(group)
+    if isinstance(platform, Spider):
+        # warm sweep: big deadlines first (makespan scenarios sort last,
+        # they warm themselves internally via the bisection)
+        ordered.sort(
+            key=lambda item: (
+                item[1].kind != "deadline",
+                -(item[1].t_lim or 0),
+            )
+        )
+
+    out: list[_IndexedResult] = []
+    caps: Optional[dict[int, int]] = None
+    caps_budget: object = _NO_CAPS
+    for index, sc in ordered:
+        t0 = time.perf_counter()
+        try:
+            if isinstance(platform, Spider):
+                warm = caps if _caps_cover(caps_budget, sc.n) else None
+                result, new_caps = _solve_spider(platform, sc, warm)
+                if sc.kind == "deadline" and new_caps is not None:
+                    caps, caps_budget = new_caps, sc.n
+            elif isinstance(platform, Chain):
+                result = _solve_chain(platform, sc)
+            elif isinstance(platform, Star):
+                result = _solve_star(platform, sc)
+            else:
+                raise BatchError(
+                    f"unsupported platform kind for batch: {type(platform).__name__}"
+                )
+        except Exception as exc:  # noqa: BLE001 - one bad scenario must not sink the batch
+            result = ScenarioResult(
+                sc.id, False, sc.kind, error=f"{type(exc).__name__}: {exc}"
+            )
+        wall = time.perf_counter() - t0
+        out.append((index, replace(result, wall_s=wall)))
+    return out
+
+
+def _split_for_workers(
+    group_list: list[list[_IndexedScenario]], workers: int
+) -> list[list[_IndexedScenario]]:
+    """Split oversized platform groups so ``workers`` units exist even when
+    every scenario shares one platform (the common sweep shape).
+
+    Each chunk keeps contiguous scenarios, so ``run_group``'s internal
+    descending-``t_lim`` sort still warms runs within the chunk; only the
+    cap hand-off *between* chunks is given up in exchange for parallelism.
+    """
+    if not group_list or len(group_list) >= workers:
+        return group_list
+    chunks_per_group = -(-workers // len(group_list))  # ceil
+    out: list[list[_IndexedScenario]] = []
+    for group in group_list:
+        k = min(chunks_per_group, len(group))
+        size = -(-len(group) // k)
+        out.extend(group[i : i + size] for i in range(0, len(group), size))
+    return out
+
+
+@dataclass
+class BatchRunner:
+    """Fan a scenario list over workers with per-platform shared state.
+
+    ``workers``: 0/1 = inline serial; N > 1 = N-worker pool.  When the
+    batch has fewer platforms than workers, large groups are split into
+    contiguous chunks so the pool is still saturated (warm caps then reset
+    at chunk boundaries).
+    ``mode``: ``"auto"`` (processes when workers > 1), ``"process"``,
+    ``"thread"`` or ``"serial"``.
+    """
+
+    workers: int = 1
+    mode: str = "auto"
+
+    def run(self, scenarios: Iterable[Scenario]) -> list[ScenarioResult]:
+        indexed = list(enumerate(scenarios))
+        groups: dict[str, list[_IndexedScenario]] = {}
+        for index, sc in indexed:
+            groups.setdefault(sc.platform_key, []).append((index, sc))
+        group_list = list(groups.values())
+
+        mode = self.mode
+        if mode not in ("auto", "serial", "thread", "process"):
+            raise BatchError(f"unknown batch mode {self.mode!r}")
+        if mode == "auto":
+            mode = "process" if self.workers > 1 else "serial"
+        if mode != "serial" and self.workers > 1:
+            group_list = _split_for_workers(group_list, self.workers)
+        if mode == "serial" or self.workers <= 1 or len(group_list) <= 1:
+            batches = [run_group(g) for g in group_list]
+        else:
+            executor_cls = {
+                "process": ProcessPoolExecutor,
+                "thread": ThreadPoolExecutor,
+            }[mode]
+            with executor_cls(max_workers=self.workers) as pool:
+                batches = list(pool.map(run_group, group_list))
+
+        results: list[Optional[ScenarioResult]] = [None] * len(indexed)
+        for batch in batches:
+            for index, result in batch:
+                results[index] = result
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+
+def run_batch(
+    scenarios: Iterable[Scenario], *, workers: int = 1, mode: str = "auto"
+) -> list[ScenarioResult]:
+    """Convenience wrapper: ``BatchRunner(workers, mode).run(scenarios)``."""
+    return BatchRunner(workers=workers, mode=mode).run(scenarios)

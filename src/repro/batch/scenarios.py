@@ -1,0 +1,156 @@
+"""Scenario and result records for the batch engine (JSON in, JSON out).
+
+A *scenario* is one solve request: a platform (as its versioned JSON dict),
+either a task count ``n`` (makespan question) or a deadline ``t_lim``
+(max-tasks question, optionally still budgeted by ``n``), and the allocator
+to use.  A *result* is the flat, JSON-able answer plus operation counters —
+deliberately *not* the full schedule, so a million-scenario batch stays
+cheap to collect and archive.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Optional, Sequence, Union
+
+from ..core.fork import DEFAULT_ALLOCATOR
+from ..core.types import ReproError, Time
+
+SCENARIO_SCHEMA = 1
+
+_KINDS = ("makespan", "deadline")
+
+
+class BatchError(ReproError):
+    """Malformed scenario input."""
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One solve request.
+
+    ``platform`` is the platform's JSON dict (see :mod:`repro.io.json_io`),
+    kept in serialised form so scenarios pickle cheaply to worker processes
+    and group by value.
+    """
+
+    id: str
+    platform: Mapping[str, Any]
+    kind: str  # "makespan" | "deadline"
+    n: Optional[int] = None
+    t_lim: Optional[Time] = None
+    allocator: str = DEFAULT_ALLOCATOR
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise BatchError(f"scenario {self.id!r}: unknown kind {self.kind!r}")
+        if self.kind == "makespan" and (self.n is None or self.n < 1):
+            raise BatchError(f"scenario {self.id!r}: makespan needs n >= 1")
+        if self.kind == "deadline" and self.t_lim is None:
+            raise BatchError(f"scenario {self.id!r}: deadline needs t_lim")
+
+    @property
+    def platform_key(self) -> str:
+        """Canonical grouping key — scenarios sharing it share precompute."""
+        return json.dumps(self.platform, sort_keys=True)
+
+    def to_dict(self) -> dict[str, Any]:
+        d: dict[str, Any] = {
+            "id": self.id,
+            "platform": dict(self.platform),
+            "kind": self.kind,
+            "allocator": self.allocator,
+        }
+        if self.n is not None:
+            d["n"] = self.n
+        if self.t_lim is not None:
+            d["t_lim"] = self.t_lim
+        return d
+
+    @staticmethod
+    def from_dict(d: Mapping[str, Any]) -> "Scenario":
+        try:
+            return Scenario(
+                id=str(d["id"]),
+                platform=d["platform"],
+                kind=d.get("kind", "makespan"),
+                n=d.get("n"),
+                t_lim=d.get("t_lim"),
+                allocator=d.get("allocator", DEFAULT_ALLOCATOR),
+            )
+        except KeyError as exc:
+            raise BatchError(f"scenario missing field {exc}") from None
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Flat outcome of one scenario (schedule-free on purpose)."""
+
+    scenario_id: str
+    ok: bool
+    kind: str
+    makespan: Optional[Time] = None
+    n_tasks: Optional[int] = None
+    t_lim: Optional[Time] = None
+    wall_s: float = 0.0
+    error: Optional[str] = None
+    stats: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        d: dict[str, Any] = {
+            "scenario_id": self.scenario_id,
+            "ok": self.ok,
+            "kind": self.kind,
+            "wall_s": self.wall_s,
+        }
+        for key in ("makespan", "n_tasks", "t_lim", "error"):
+            value = getattr(self, key)
+            if value is not None:
+                d[key] = value
+        if self.stats:
+            d["stats"] = dict(self.stats)
+        return d
+
+    @staticmethod
+    def from_dict(d: Mapping[str, Any]) -> "ScenarioResult":
+        return ScenarioResult(
+            scenario_id=d["scenario_id"],
+            ok=d["ok"],
+            kind=d.get("kind", "makespan"),
+            makespan=d.get("makespan"),
+            n_tasks=d.get("n_tasks"),
+            t_lim=d.get("t_lim"),
+            wall_s=d.get("wall_s", 0.0),
+            error=d.get("error"),
+            stats=d.get("stats", {}),
+        )
+
+
+def scenarios_from_dict(payload: Mapping[str, Any]) -> list[Scenario]:
+    """Parse a scenario-file payload ``{"schema": 1, "scenarios": [...]}``."""
+    raw = payload.get("scenarios")
+    if not isinstance(raw, list):
+        raise BatchError("scenario payload needs a 'scenarios' list")
+    return [Scenario.from_dict(item) for item in raw]
+
+
+def load_scenarios(path: Union[str, Path]) -> list[Scenario]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return scenarios_from_dict(json.load(fh))
+
+
+def save_results(
+    results: Sequence[ScenarioResult], path: Union[str, Path]
+) -> Path:
+    """Write results as JSON; returns the path written."""
+    path = Path(path)
+    payload = {
+        "schema": SCENARIO_SCHEMA,
+        "results": [r.to_dict() for r in results],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return path

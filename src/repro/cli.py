@@ -192,6 +192,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--platform")
     p.add_argument("--tlim", type=int, required=True)
 
+    p = sub.add_parser("batch", help="run a JSON scenario batch through the batch engine")
+    p.add_argument("--scenarios", required=True, metavar="FILE",
+                   help="JSON file: {\"scenarios\": [{id, platform, kind, n|t_lim}, ...]}")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker count (1 = inline serial)")
+    p.add_argument("--mode", default="auto",
+                   choices=["auto", "serial", "thread", "process"])
+    p.add_argument("--out", metavar="PATH", help="write results JSON")
+
     p = sub.add_parser("report", help="regenerate the headline results as markdown")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--full", action="store_true", help="larger sweeps")
@@ -322,6 +331,31 @@ def main(argv: Sequence[str] | None = None) -> int:
             raise SystemExit("fig7 needs a chain or a spider")
         print(transformation_to_dot(platform, args.tlim))
         return 0
+
+    if args.command == "batch":
+        from .batch import load_scenarios, run_batch, save_results
+
+        scenarios = load_scenarios(args.scenarios)
+        results = run_batch(scenarios, workers=args.workers, mode=args.mode)
+        rows = [
+            (
+                r.scenario_id,
+                r.kind,
+                "ok" if r.ok else "FAIL",
+                "" if r.makespan is None else r.makespan,
+                "" if r.n_tasks is None else r.n_tasks,
+                f"{r.wall_s:.4f}",
+            )
+            for r in results
+        ]
+        print(format_table(
+            ["scenario", "kind", "status", "makespan", "tasks", "seconds"], rows
+        ))
+        failed = [r for r in results if not r.ok]
+        print(f"{len(results) - len(failed)}/{len(results)} scenarios ok")
+        if args.out:
+            print(f"wrote {save_results(results, args.out)}")
+        return 0 if not failed else 1
 
     if args.command == "report":
         from .analysis.report import build_report

@@ -1,0 +1,161 @@
+"""The incremental EDF allocator must be *bit-identical* to the reference.
+
+The ``"incremental"`` allocator is the default solve path, so these tests
+hold it to the strongest standard available: not just equal accepted counts
+(the Moore–Hodgson witness covers cardinality) but element-for-element equal
+accepted sets, EDF emissions and rejection order against the paper-literal
+``allocate_greedy`` — over raw random slave sets, star expansions and
+spider-derived virtual-slave sets alike.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fork import (
+    AllocStats,
+    VirtualSlave,
+    allocate_greedy,
+    allocate_incremental,
+    allocate_moore_hodgson,
+    expand_star,
+)
+from repro.core.spider import spider_schedule_deadline
+
+from conftest import spiders, stars
+
+#: raw (c, W) populations, heavy on ties to stress the stable-sort matching
+slave_sets = st.lists(
+    st.tuples(st.integers(1, 4), st.integers(1, 12)), min_size=0, max_size=24
+)
+
+
+def _assert_identical(candidates, t_lim):
+    ref = allocate_greedy(candidates, t_lim)
+    inc = allocate_incremental(candidates, t_lim)
+    assert inc.accepted == ref.accepted
+    assert inc.emissions == ref.emissions
+    assert inc.rejected == ref.rejected
+    moore = allocate_moore_hodgson(candidates, t_lim)
+    assert inc.n_tasks == moore.n_tasks
+
+
+class TestBitIdentity:
+    @given(slave_sets, st.integers(0, 30))
+    @settings(max_examples=200, deadline=None)
+    def test_random_slave_sets(self, raw, t_lim):
+        slaves = [VirtualSlave(c, w, i) for i, (c, w) in enumerate(raw)]
+        _assert_identical(slaves, t_lim)
+
+    @given(slave_sets, st.integers(0, 30))
+    @settings(max_examples=100, deadline=None)
+    def test_duplicate_heavy_sets(self, raw, t_lim):
+        """Every slave twice: equal (deadline, c) keys everywhere, so any
+        tie-break mismatch against the stable reference sorts would show."""
+        slaves = [
+            VirtualSlave(c, w, (i, rep))
+            for i, (c, w) in enumerate(raw)
+            for rep in (0, 1)
+        ]
+        _assert_identical(slaves, t_lim)
+
+    @given(stars(max_k=4), st.integers(0, 40))
+    @settings(max_examples=100, deadline=None)
+    def test_star_expansions(self, star, t_lim):
+        """Candidates as the fork algorithm produces them (Fig. 6 ladders)."""
+        _assert_identical(expand_star(star, t_lim), t_lim)
+
+    @given(spiders(max_legs=3, max_depth=3), st.integers(0, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_spider_derived_nodes(self, sp, t_lim):
+        """Candidates as the spider pipeline produces them (Fig. 7 nodes)."""
+        nodes = spider_schedule_deadline(sp, t_lim).fork_nodes
+        _assert_identical(nodes, t_lim)
+
+    def test_zero_latency_first_link(self):
+        """Spider legs may have a zero-latency first link → c = 0 slaves."""
+        slaves = [VirtualSlave(0, 5, "a"), VirtualSlave(2, 3, "b"),
+                  VirtualSlave(0, 9, "c")]
+        _assert_identical(slaves, 10)
+
+    def test_float_inputs_delegate_to_greedy(self):
+        """Re-associated float sums can flip marginal accept decisions (e.g.
+        d − 0.3 < 0.6 while 0.6 + 0.3 ≤ d under IEEE rounding), so on
+        inexact inputs the incremental allocator must fall back to the
+        reference greedy — this instance diverged before the fallback."""
+        slaves = [
+            VirtualSlave(c, w, i)
+            for i, (c, w) in enumerate(
+                [(0.6, 0.6), (1.1, 2.8), (0.6, 1.2),
+                 (0.3, 0.30000000000000004), (0.7, 1.1), (0.6, 0.4),
+                 (1.1, 2.2)]
+            )
+        ]
+        _assert_identical(slaves, 1.2)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.1, 4, allow_nan=False),
+                st.floats(0.1, 9, allow_nan=False),
+            ),
+            min_size=0,
+            max_size=16,
+        ),
+        st.floats(0, 25, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_float_slave_sets(self, raw, t_lim):
+        slaves = [VirtualSlave(c, w, i) for i, (c, w) in enumerate(raw)]
+        _assert_identical(slaves, t_lim)
+
+    def test_fraction_inputs_stay_on_fast_path(self):
+        """Fractions are exact, so they keep the k·log k structure; the
+        result must still match greedy bit-for-bit."""
+        from fractions import Fraction as F
+
+        slaves = [
+            VirtualSlave(F(3, 2), F(5, 3), 0),
+            VirtualSlave(F(1, 2), F(7, 3), 1),
+            VirtualSlave(F(3, 2), F(1, 3), 2),
+        ]
+        _assert_identical(slaves, F(9, 2))
+
+
+class TestStatsCounters:
+    def test_incremental_work_is_subquadratic(self):
+        """On a big ladder the incremental allocator must do asymptotically
+        less deadline-structure work than the reference rescan."""
+        k = 512
+        slaves = [VirtualSlave(1 + i % 3, 1 + i, i) for i in range(k)]
+        t_lim = 2 * k
+        ref_stats, inc_stats = AllocStats(), AllocStats()
+        ref = allocate_greedy(slaves, t_lim, stats=ref_stats)
+        inc = allocate_incremental(slaves, t_lim, stats=inc_stats)
+        assert inc.accepted == ref.accepted
+        assert inc_stats.candidates == ref_stats.candidates == k
+        assert inc_stats.accepted == ref_stats.accepted
+        # reference is Ω(accepted²); incremental must stay O(k·log k)-ish
+        assert ref_stats.structure_ops > inc_stats.structure_ops
+        assert inc_stats.structure_ops <= 80 * k  # generous c·k·log₂k bound
+
+    def test_counters_accumulate(self):
+        stats = AllocStats()
+        slaves = [VirtualSlave(1, 2, 0), VirtualSlave(1, 3, 1)]
+        allocate_incremental(slaves, 10, stats=stats)
+        allocate_incremental(slaves, 10, stats=stats)
+        assert stats.candidates == 4
+        assert stats.accepted + stats.rejected == 4
+        assert stats.structure_ops > 0
+
+    def test_merge(self):
+        a, b = AllocStats(candidates=2, structure_ops=5), AllocStats(accepted=1)
+        a.merge(b)
+        assert a.candidates == 2 and a.accepted == 1 and a.structure_ops == 5
+
+
+class TestEmissionLookup:
+    def test_dict_backed_lookup(self):
+        slaves = [VirtualSlave(2, 3, "a"), VirtualSlave(1, 5, "b")]
+        alloc = allocate_incremental(slaves, 12)
+        for slave, emit in zip(alloc.accepted, alloc.emissions):
+            assert alloc.emission_of(slave.tag) == emit

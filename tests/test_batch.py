@@ -1,0 +1,220 @@
+"""Tests of the batch scenario engine (:mod:`repro.batch`)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch import (
+    BatchRunner,
+    Scenario,
+    ScenarioResult,
+    load_scenarios,
+    run_batch,
+    save_results,
+    scenarios_from_dict,
+)
+from repro.batch.scenarios import BatchError
+from repro.core.chain import chain_makespan
+from repro.core.spider import spider_schedule_deadline, spider_makespan
+from repro.io.json_io import platform_to_dict
+from repro.platforms.generators import random_chain, random_spider, random_star
+
+from conftest import spiders
+
+
+def _spider_dict(seed=1):
+    return platform_to_dict(random_spider(3, 3, seed=seed))
+
+
+class TestScenarioRecords:
+    def test_roundtrip(self):
+        sc = Scenario("s1", _spider_dict(), "deadline", n=5, t_lim=20)
+        assert Scenario.from_dict(sc.to_dict()) == sc
+
+    def test_makespan_needs_n(self):
+        with pytest.raises(BatchError):
+            Scenario("bad", _spider_dict(), "makespan")
+
+    def test_deadline_needs_tlim(self):
+        with pytest.raises(BatchError):
+            Scenario("bad", _spider_dict(), "deadline")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(BatchError):
+            Scenario("bad", _spider_dict(), "steady")
+
+    def test_payload_parsing(self):
+        payload = {
+            "schema": 1,
+            "scenarios": [
+                {"id": "a", "platform": _spider_dict(), "kind": "makespan", "n": 3}
+            ],
+        }
+        (sc,) = scenarios_from_dict(payload)
+        assert sc.id == "a" and sc.n == 3
+
+    def test_payload_without_list_rejected(self):
+        with pytest.raises(BatchError):
+            scenarios_from_dict({"schema": 1})
+
+
+class TestRunnerCorrectness:
+    def test_results_keep_input_order(self):
+        p1, p2 = _spider_dict(1), _spider_dict(2)
+        scs = [
+            Scenario("a", p1, "deadline", t_lim=10),
+            Scenario("b", p2, "makespan", n=3),
+            Scenario("c", p1, "deadline", t_lim=20),
+            Scenario("d", p1, "makespan", n=4),
+        ]
+        results = run_batch(scs)
+        assert [r.scenario_id for r in results] == ["a", "b", "c", "d"]
+
+    def test_matches_direct_solves(self):
+        sp = random_spider(3, 3, seed=9)
+        ch = random_chain(4, seed=9)
+        scs = [
+            Scenario("sp", platform_to_dict(sp), "makespan", n=7),
+            Scenario("ch", platform_to_dict(ch), "makespan", n=7),
+            Scenario("sp-d", platform_to_dict(sp), "deadline", t_lim=25),
+        ]
+        sp_r, ch_r, spd_r = run_batch(scs)
+        assert sp_r.makespan == spider_makespan(sp, 7)
+        assert ch_r.makespan == chain_makespan(ch, 7)
+        assert spd_r.n_tasks == spider_schedule_deadline(sp, 25).n_tasks
+
+    @given(spiders(max_legs=3, max_depth=2), st.lists(st.integers(0, 30),
+                                                      min_size=1, max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_warm_deadline_sweep_matches_cold_runs(self, sp, t_lims):
+        """The descending-Tlim warm sweep must answer exactly like isolated
+        cold runs — warm caps are a pure optimisation."""
+        pdict = platform_to_dict(sp)
+        scs = [
+            Scenario(f"t{i}", pdict, "deadline", t_lim=t)
+            for i, t in enumerate(t_lims)
+        ]
+        results = run_batch(scs)
+        for t, r in zip(t_lims, results):
+            cold = spider_schedule_deadline(sp, t)
+            assert r.ok and r.n_tasks == cold.n_tasks
+            assert r.makespan == cold.schedule.makespan
+
+    def test_budgeted_and_unbudgeted_mix(self):
+        """A budgeted scenario's caps must not clip a later unbudgeted one."""
+        sp = random_spider(3, 2, seed=4)
+        pdict = platform_to_dict(sp)
+        scs = [
+            Scenario("big", pdict, "deadline", t_lim=30, n=2),
+            Scenario("small-unbounded", pdict, "deadline", t_lim=25),
+        ]
+        _, unbounded = run_batch(scs)
+        assert unbounded.n_tasks == spider_schedule_deadline(sp, 25).n_tasks
+
+    def test_star_scenarios(self):
+        star = random_star(5, seed=3)
+        scs = [
+            Scenario("mk", platform_to_dict(star), "makespan", n=6),
+            Scenario("dl", platform_to_dict(star), "deadline", t_lim=15),
+        ]
+        mk, dl = run_batch(scs)
+        assert mk.ok and mk.n_tasks == 6
+        assert dl.ok and dl.makespan <= 15
+
+    def test_bad_scenario_does_not_sink_batch(self):
+        pdict = _spider_dict()
+        scs = [
+            Scenario("good", pdict, "makespan", n=2),
+            Scenario("bad", {"kind": "spider", "legs": []}, "makespan", n=2),
+        ]
+        good, bad = run_batch(scs)
+        assert good.ok
+        assert not bad.ok and bad.error and "spider" in bad.error
+
+    def test_stats_surface_counters(self):
+        (r,) = run_batch([Scenario("s", _spider_dict(), "makespan", n=6)])
+        assert r.stats["probes"] >= 1
+        assert r.stats["alloc_structure_ops"] > 0
+        assert r.wall_s > 0
+
+
+class TestRunnerModes:
+    def _scenarios(self):
+        return [
+            Scenario(f"s{seed}-{t}", _spider_dict(seed), "deadline", t_lim=t)
+            for seed in (1, 2, 3)
+            for t in (24, 12, 6)
+        ]
+
+    def test_thread_pool_matches_serial(self):
+        scs = self._scenarios()
+        serial = run_batch(scs, workers=1)
+        threaded = run_batch(scs, workers=3, mode="thread")
+        assert [(r.scenario_id, r.n_tasks) for r in serial] == [
+            (r.scenario_id, r.n_tasks) for r in threaded
+        ]
+
+    def test_process_pool_matches_serial(self):
+        scs = self._scenarios()
+        serial = run_batch(scs, workers=1)
+        procs = run_batch(scs, workers=2, mode="process")
+        assert [(r.scenario_id, r.n_tasks) for r in serial] == [
+            (r.scenario_id, r.n_tasks) for r in procs
+        ]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(BatchError):
+            BatchRunner(workers=4, mode="quantum").run(self._scenarios())
+
+    def test_unknown_mode_rejected_even_when_serial(self):
+        """Typos must not silently degrade to serial at workers=1."""
+        with pytest.raises(BatchError):
+            BatchRunner(workers=1, mode="processs").run(self._scenarios())
+
+    def test_empty_batch_with_workers(self):
+        assert run_batch([], workers=4, mode="thread") == []
+
+    def test_single_platform_group_is_split_across_workers(self):
+        """A one-platform sweep must still saturate the pool: the group is
+        chunked (losing only cross-chunk warm caps), answers unchanged."""
+        from repro.batch.runner import _split_for_workers
+
+        pdict = _spider_dict(5)
+        scs = [
+            Scenario(f"t{t}", pdict, "deadline", t_lim=t)
+            for t in range(30, 2, -3)
+        ]
+        units = _split_for_workers([list(enumerate(scs))], workers=4)
+        assert len(units) == 4
+        assert sorted(i for u in units for i, _ in u) == list(range(len(scs)))
+        serial = run_batch(scs, workers=1)
+        pooled = run_batch(scs, workers=4, mode="thread")
+        assert [(r.scenario_id, r.n_tasks, r.makespan) for r in serial] == [
+            (r.scenario_id, r.n_tasks, r.makespan) for r in pooled
+        ]
+
+
+class TestSerialisation:
+    def test_results_roundtrip(self, tmp_path):
+        results = run_batch(
+            [Scenario("s", _spider_dict(), "deadline", t_lim=18)]
+        )
+        path = save_results(results, tmp_path / "res.json")
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 1
+        back = [ScenarioResult.from_dict(d) for d in payload["results"]]
+        assert back[0].scenario_id == "s"
+        assert back[0].n_tasks == results[0].n_tasks
+
+    def test_scenario_file_loading(self, tmp_path):
+        path = tmp_path / "scen.json"
+        path.write_text(json.dumps({
+            "schema": 1,
+            "scenarios": [
+                {"id": "x", "platform": _spider_dict(), "kind": "makespan", "n": 2}
+            ],
+        }))
+        (sc,) = load_scenarios(path)
+        assert sc.id == "x"

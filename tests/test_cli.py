@@ -125,6 +125,57 @@ class TestExtendedCommands:
             main(["fig7", "--child", "1/2", "--tlim", "10"])
 
 
+class TestBatchCommand:
+    def _scenario_file(self, tmp_path):
+        import json
+
+        from repro.io.json_io import platform_to_dict
+        from repro.platforms.generators import random_spider
+
+        pdict = platform_to_dict(random_spider(3, 2, seed=7))
+        path = tmp_path / "scenarios.json"
+        path.write_text(json.dumps({
+            "schema": 1,
+            "scenarios": [
+                {"id": "mk", "platform": pdict, "kind": "makespan", "n": 5},
+                {"id": "dl", "platform": pdict, "kind": "deadline", "t_lim": 20},
+            ],
+        }))
+        return path
+
+    def test_batch_runs_and_reports(self, capsys, tmp_path):
+        path = self._scenario_file(tmp_path)
+        assert main(["batch", "--scenarios", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 scenarios ok" in out
+        assert "mk" in out and "dl" in out
+
+    def test_batch_writes_results_json(self, capsys, tmp_path):
+        import json
+
+        path = self._scenario_file(tmp_path)
+        out_path = tmp_path / "results.json"
+        assert main(["batch", "--scenarios", str(path),
+                     "--out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert {r["scenario_id"] for r in payload["results"]} == {"mk", "dl"}
+        assert all(r["ok"] for r in payload["results"])
+
+    def test_batch_nonzero_exit_on_failure(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "schema": 1,
+            "scenarios": [
+                {"id": "broken", "kind": "makespan", "n": 2,
+                 "platform": {"kind": "spider", "legs": []}},
+            ],
+        }))
+        assert main(["batch", "--scenarios", str(path)]) == 1
+        assert "0/1 scenarios ok" in capsys.readouterr().out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -1,12 +1,27 @@
 """Every example script must run clean as a subprocess (user-facing smoke)."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-EXAMPLES = sorted((Path(__file__).resolve().parents[1] / "examples").glob("*.py"))
+_REPO = Path(__file__).resolve().parents[1]
+EXAMPLES = sorted((_REPO / "examples").glob("*.py"))
+
+
+def _env_with_src() -> dict[str, str]:
+    """Subprocess env whose PYTHONPATH reaches ``src`` from any cwd.
+
+    The tier-1 command exports a *relative* ``PYTHONPATH=src``, which stops
+    resolving once the example runs from a scratch directory — so rebuild it
+    with the absolute path."""
+    env = dict(os.environ)
+    extra = str(_REPO / "src")
+    prev = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = extra + (os.pathsep + prev if prev else "")
+    return env
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
@@ -17,6 +32,7 @@ def test_example_runs_clean(script, tmp_path):
         text=True,
         timeout=180,
         cwd=tmp_path,  # artefacts (svg/json) land in the scratch dir
+        env=_env_with_src(),
     )
     assert result.returncode == 0, result.stderr[-2000:]
     assert result.stdout.strip(), "examples must narrate what they do"
@@ -31,6 +47,10 @@ def test_example_inventory():
 def test_quickstart_prints_paper_numbers():
     script = next(p for p in EXAMPLES if p.stem == "quickstart")
     out = subprocess.run(
-        [sys.executable, str(script)], capture_output=True, text=True, timeout=60
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=60,
+        env=_env_with_src(),
     ).stdout
     assert "14" in out  # the paper's makespan

@@ -9,6 +9,7 @@ from repro.baselines.bruteforce import optimal_makespan
 from repro.core.chain import chain_makespan, max_tasks_within
 from repro.core.feasibility import check, check_deadline
 from repro.core.spider import (
+    SpiderRunStats,
     spider_makespan,
     spider_max_tasks,
     spider_schedule,
@@ -148,3 +149,58 @@ class TestSpiderMakespan:
         s = spider_schedule(sp, 3)
         assert s.n_tasks == 3
         assert check(s) == []
+
+
+class TestWarmStartAndStats:
+    """The warm-started bisection is a pure optimisation: same schedules,
+    fewer operations, and the win is visible in SpiderRunStats."""
+
+    @given(spiders(max_legs=3, max_depth=2), st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_warm_caps_transparent_for_deadline_runs(self, sp, n):
+        """Feeding a run its own leg counts as caps must change nothing."""
+        t_lim = sp.t_infinity(n)
+        cold = spider_schedule_deadline(sp, t_lim, n)
+        warm = spider_schedule_deadline(sp, t_lim, n, leg_caps=cold.leg_counts)
+        assert warm.schedule.assignments == cold.schedule.assignments
+
+    @given(spiders(max_legs=3, max_depth=2), st.integers(0, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_caps_from_larger_tlim_transparent(self, sp, t_lim):
+        wide = spider_schedule_deadline(sp, t_lim + 5)
+        cold = spider_schedule_deadline(sp, t_lim)
+        warm = spider_schedule_deadline(sp, t_lim, leg_caps=wide.leg_counts)
+        assert warm.schedule.assignments == cold.schedule.assignments
+        assert warm.n_tasks == cold.n_tasks
+
+    def test_stats_counters_populated(self):
+        stats = SpiderRunStats()
+        sched = spider_schedule(paper_fig5_spider(), 6, stats=stats)
+        assert sched.n_tasks == 6
+        assert stats.probes >= 1
+        assert stats.legs_scheduled >= stats.probes  # several legs per probe
+        assert stats.fork_nodes > 0
+        assert stats.alloc.candidates == stats.fork_nodes
+        assert stats.chain.tasks_placed > 0
+
+    def test_stats_do_not_change_result(self):
+        stats = SpiderRunStats()
+        sp = paper_fig5_spider()
+        with_stats = spider_schedule(sp, 5, stats=stats)
+        without = spider_schedule(sp, 5)
+        assert with_stats.assignments == without.assignments
+
+    def test_short_circuit_fires_and_preserves_answer(self):
+        """A leg that cannot contribute at small Tlim lets low probes be
+        refuted by the cheap bounds alone — without changing the optimum."""
+        sp = Spider([Chain(c=(1,), w=(1,)), Chain(c=(50,), w=(1,))])
+        stats = SpiderRunStats()
+        sched = spider_schedule(sp, 20, stats=stats)
+        assert stats.probes_short_circuited > 0
+        assert sched.makespan == spider_makespan(sp, 20, allocator="greedy")
+
+    def test_leg_counts_reported(self):
+        res = spider_schedule_deadline(paper_fig5_spider(), 20)
+        assert set(res.leg_counts) == {1, 2, 3}
+        assert all(v >= 0 for v in res.leg_counts.values())
+        assert sum(res.leg_counts.values()) >= res.n_tasks
