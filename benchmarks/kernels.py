@@ -13,6 +13,7 @@ from __future__ import annotations
 import time
 from typing import Callable
 
+from repro.analysis.steady_state import spider_steady_state, tree_steady_state
 from repro.batch import BatchRunner, Scenario
 from repro.core.chain import ChainRunStats
 from repro.core.chain_fast import schedule_chain_fast
@@ -20,8 +21,9 @@ from repro.core.fork import AllocStats, allocate_greedy, allocate_incremental, e
 from repro.core.spider import SpiderRunStats, spider_schedule, spider_schedule_deadline
 from repro.io.json_io import platform_to_dict
 from repro.platforms.chain import Chain
-from repro.platforms.generators import random_chain, random_star
+from repro.platforms.generators import random_chain, random_star, random_tree
 from repro.platforms.spider import Spider
+from repro.trees.heuristic import best_path_cover, tree_schedule_by_cover
 
 #: The acceptance-scale spider: 16 heterogeneous legs × 4 processors = 64.
 ACCEPTANCE_LEGS = 16
@@ -196,6 +198,126 @@ def kernel_batch_deadline_sweep() -> dict:
     return _best_of(once, 2)
 
 
+# ---------------------------------------------------------------------------
+# The tree acceptance suite: multi-round covering vs the single cover
+# ---------------------------------------------------------------------------
+
+#: Suite shape: seeded ``cpu_heavy`` trees whose best single spider cover
+#: drops at least this fraction of the tree's bandwidth-centric capacity —
+#: the regime the multi-round scheduler exists for.  (On trees with no
+#: capacity gap the single cover is already port-limited-optimal and every
+#: scheduler ties; including them would only measure noise.)
+TREE_SUITE_SIZE = 15
+TREE_SUITE_MIN_GAP = 0.15
+TREE_SUITE_FIRST_SEED = 300
+TREE_SUITE_N = 24
+
+
+#: seed-scan bound: if gap-qualified trees ever become this rare the suite
+#: definition itself has drifted — fail fast instead of spinning forever.
+TREE_SUITE_MAX_SEED = TREE_SUITE_FIRST_SEED + 10_000
+
+
+def tree_suite() -> list[tuple[int, object, float]]:
+    """``(seed, tree, capacity_gap)`` rows, deterministic by construction."""
+    suite: list[tuple[int, object, float]] = []
+    seed = TREE_SUITE_FIRST_SEED
+    while len(suite) < TREE_SUITE_SIZE:
+        if seed >= TREE_SUITE_MAX_SEED:
+            raise RuntimeError(
+                f"only {len(suite)}/{TREE_SUITE_SIZE} trees with capacity gap "
+                f">= {TREE_SUITE_MIN_GAP} found in seeds "
+                f"[{TREE_SUITE_FIRST_SEED}, {TREE_SUITE_MAX_SEED}) — the "
+                "generator profile or gap threshold has drifted"
+            )
+        tree = random_tree(9 + seed % 5, profile="cpu_heavy", seed=seed)
+        cover_rate = spider_steady_state(best_path_cover(tree).spider).throughput
+        tree_rate = tree_steady_state(tree).throughput
+        gap = 1 - float(cover_rate) / float(tree_rate)
+        if gap >= TREE_SUITE_MIN_GAP:
+            suite.append((seed, tree, gap))
+        seed += 1
+    return suite
+
+
+def tree_suite_results() -> list[dict]:
+    """Per-tree detail: single-cover vs multi-round task counts (deadline
+    mode) and efficiencies vs the steady-state bound, all answered through
+    the batch engine so the suite also exercises the registry dispatch.
+
+    The deadline is twice the single cover's optimal makespan for
+    ``TREE_SUITE_N`` tasks — a generous horizon, the steady-state-approach
+    regime where covering quality matters.
+    """
+    instances = []
+    scenarios = []
+    for seed, tree, gap in tree_suite():
+        t_lim = 2 * tree_schedule_by_cover(tree, TREE_SUITE_N).makespan
+        pdict = platform_to_dict(tree)
+        scenarios.append(Scenario(
+            f"s{seed}-single", pdict, "deadline", t_lim=t_lim,
+            options={"max_rounds": 1},
+        ))
+        scenarios.append(Scenario(f"s{seed}-multi", pdict, "deadline", t_lim=t_lim))
+        instances.append((seed, tree, gap, t_lim))
+    by_id = {r.scenario_id: r for r in BatchRunner(workers=1).run(scenarios)}
+    rows = []
+    for seed, tree, gap, t_lim in instances:
+        single = by_id[f"s{seed}-single"]
+        multi = by_id[f"s{seed}-multi"]
+        assert single.ok and multi.ok, (single.error, multi.error)
+        bound = float(tree_steady_state(tree).throughput)
+        rows.append({
+            "seed": seed,
+            "workers": tree.p,
+            "t_lim": t_lim,
+            "capacity_gap": round(gap, 4),
+            "single_tasks": single.n_tasks,
+            "multi_tasks": multi.n_tasks,
+            "rounds": multi.rounds,
+            "coverage": round(multi.coverage, 4),
+            "single_efficiency": round((single.n_tasks / t_lim) / bound, 4),
+            "multi_efficiency": round((multi.n_tasks / t_lim) / bound, 4),
+        })
+    return rows
+
+
+#: per-tree rows of the kernel's most recent run — reused by the baseline
+#: writer so BENCH_tree.json's ``suite`` detail comes from the same run as
+#: the aggregate counters (and the suite isn't solved a third time).
+LAST_TREE_SUITE_ROWS: list[dict] = []
+
+
+def kernel_tree_multiround_suite() -> dict:
+    """The whole tree suite through the batch engine, aggregated."""
+
+    def once() -> dict:
+        t0 = time.perf_counter()
+        rows = tree_suite_results()
+        seconds = time.perf_counter() - t0
+        LAST_TREE_SUITE_ROWS[:] = rows
+        wins = sum(r["multi_tasks"] > r["single_tasks"] for r in rows)
+        losses = sum(r["multi_tasks"] < r["single_tasks"] for r in rows)
+        return {
+            "seconds": seconds,
+            "trees": len(rows),
+            "wins": wins,
+            "ties": len(rows) - wins - losses,
+            "losses": losses,
+            "single_tasks": sum(r["single_tasks"] for r in rows),
+            "multi_tasks": sum(r["multi_tasks"] for r in rows),
+            "rounds_total": sum(r["rounds"] for r in rows),
+            "mean_single_efficiency": round(
+                sum(r["single_efficiency"] for r in rows) / len(rows), 4
+            ),
+            "mean_multi_efficiency": round(
+                sum(r["multi_efficiency"] for r in rows) / len(rows), 4
+            ),
+        }
+
+    return _best_of(once, 2)
+
+
 #: name → kernel; ``legacy`` kernels are the slow reference paths — still
 #: tracked (a regression there hides correctness-witness rot) but the
 #: checker's ``--skip-legacy`` flag can drop them for quick local runs.
@@ -212,4 +334,9 @@ KERNELS: dict[str, Callable[[], dict]] = {
 LEGACY_KERNELS = {
     "spider_schedule_legacy_16x4_n512",
     "allocator_greedy_volunteer60",
+}
+
+#: tree kernels live in their own baseline file (``BENCH_tree.json``).
+TREE_KERNELS: dict[str, Callable[[], dict]] = {
+    "tree_multiround_suite": kernel_tree_multiround_suite,
 }

@@ -31,19 +31,25 @@ from .core import (
     schedule_chain_deadline,
 )
 from .platforms import Chain, ProcessorSpec, Spider, Star, Tree
+from .solve import Problem, Solution, registered_solvers, solve, solver_for
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CommVector",
+    "Problem",
     "Schedule",
+    "Solution",
     "TaskAssignment",
     "assert_feasible",
     "chain_makespan",
     "is_feasible",
     "max_tasks_within",
+    "registered_solvers",
     "schedule_chain",
     "schedule_chain_deadline",
+    "solve",
+    "solver_for",
     "Chain",
     "ProcessorSpec",
     "Spider",

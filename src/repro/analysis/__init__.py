@@ -12,8 +12,10 @@ from .metrics import (
 from .steady_state import (
     SteadyState,
     chain_steady_state,
+    register_steady_state,
     spider_steady_state,
     star_steady_state,
+    steady_state,
     tree_steady_state,
 )
 from .complexity import (
@@ -50,8 +52,10 @@ __all__ = [
     "speedup_over_single",
     "SteadyState",
     "chain_steady_state",
+    "register_steady_state",
     "spider_steady_state",
     "star_steady_state",
+    "steady_state",
     "tree_steady_state",
     "PowerFit",
     "chain_opcount_in_n",

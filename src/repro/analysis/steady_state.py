@@ -135,6 +135,35 @@ def tree_steady_state(tree: Tree, node: int = ROOT) -> SteadyState:
     return SteadyState(total, tuple(granted))
 
 
+#: platform class → steady-state analysis (MRO-resolved like the solver
+#: registry, so consumers never if/elif over platform types).  New platform
+#: types register via :func:`register_steady_state` next to their
+#: ``repro.solve.register`` call.
+_STEADY_DISPATCH = {
+    Chain: chain_steady_state,
+    Star: star_steady_state,
+    Spider: spider_steady_state,
+    Tree: tree_steady_state,
+}
+
+
+def register_steady_state(platform_type: type, fn) -> None:
+    """Register the steady-state analysis for a new platform type."""
+    _STEADY_DISPATCH[platform_type] = fn
+
+
+def steady_state(platform) -> SteadyState:
+    """Bandwidth-centric steady state of any supported platform."""
+    for cls in type(platform).__mro__:
+        fn = _STEADY_DISPATCH.get(cls)
+        if fn is not None:
+            return fn(platform)
+    raise PlatformError(
+        f"no steady-state analysis for platform type {type(platform).__name__!r} "
+        f"(register one with repro.analysis.register_steady_state)"
+    )
+
+
 def asymptotic_rate(platform, makespans: list[tuple[int, float]]) -> float:
     """Empirical rate ``n / makespan`` of the largest measured run —
     compared against the theoretical throughput in experiment E9."""

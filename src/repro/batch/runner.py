@@ -4,10 +4,12 @@ Execution model
 ---------------
 
 Scenarios are grouped by platform (``Scenario.platform_key``).  One group is
-the unit of dispatch: a worker parses the platform once, answers every
-scenario of the group, and — for *deadline* scenarios on spiders — processes
-them in descending-``t_lim`` order so each run's per-leg counts warm the
-next (smaller) deadline, exactly like the bisection probes inside
+the unit of dispatch: a worker parses the platform once, resolves the
+registered solver through :func:`repro.solve.solver_for` (the *only*
+platform dispatch in the engine), and answers every scenario of the group.
+For *deadline* scenarios on solvers with ``supports_warm_caps`` the group
+runs in descending-``t_lim`` order so each run's warm caps prime the next
+(smaller) deadline, exactly like the bisection probes inside
 :func:`repro.core.spider.spider_schedule`.
 
 ``workers <= 1`` (the default) runs everything inline — deterministic,
@@ -23,112 +25,12 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Iterable, Optional, Sequence
 
-from ..core.chain import ChainRunStats
-from ..core.chain_fast import schedule_chain_deadline_fast, schedule_chain_fast
-from ..core.fork import AllocStats, fork_schedule, fork_schedule_deadline
-from ..core.spider import (
-    SpiderRunStats,
-    spider_schedule,
-    spider_schedule_deadline,
-)
 from ..io.json_io import platform_from_dict
-from ..platforms.chain import Chain
-from ..platforms.spider import Spider
-from ..platforms.star import Star
+from ..solve import Problem, solver_for
 from .scenarios import BatchError, Scenario, ScenarioResult
 
 _IndexedScenario = tuple[int, Scenario]
 _IndexedResult = tuple[int, ScenarioResult]
-
-
-def _spider_stats_dict(stats: SpiderRunStats) -> dict:
-    return {
-        "probes": stats.probes,
-        "probes_short_circuited": stats.probes_short_circuited,
-        "legs_scheduled": stats.legs_scheduled,
-        "legs_skipped": stats.legs_skipped,
-        "fork_nodes": stats.fork_nodes,
-        "chain_vector_elements": stats.chain.vector_elements,
-        "alloc_candidates": stats.alloc.candidates,
-        "alloc_structure_ops": stats.alloc.structure_ops,
-    }
-
-
-def _chain_stats_dict(stats: ChainRunStats) -> dict:
-    return {
-        "tasks_placed": stats.tasks_placed,
-        "candidates_evaluated": stats.candidates_evaluated,
-        "vector_elements": stats.vector_elements,
-        "comparisons": stats.comparisons,
-    }
-
-
-def _alloc_stats_dict(stats: AllocStats) -> dict:
-    return {
-        "alloc_candidates": stats.candidates,
-        "alloc_structure_ops": stats.structure_ops,
-    }
-
-
-def _solve_spider(
-    spider: Spider, sc: Scenario, leg_caps: Optional[dict[int, int]]
-) -> tuple[ScenarioResult, Optional[dict[int, int]]]:
-    stats = SpiderRunStats()
-    if sc.kind == "makespan":
-        sched = spider_schedule(spider, sc.n, allocator=sc.allocator, stats=stats)
-        result = ScenarioResult(
-            sc.id, True, sc.kind,
-            makespan=sched.makespan, n_tasks=sched.n_tasks,
-            stats=_spider_stats_dict(stats),
-        )
-        return result, None
-    res = spider_schedule_deadline(
-        spider, sc.t_lim, sc.n,
-        allocator=sc.allocator, stats=stats, leg_caps=leg_caps,
-    )
-    result = ScenarioResult(
-        sc.id, True, sc.kind,
-        makespan=res.schedule.makespan, n_tasks=res.n_tasks, t_lim=sc.t_lim,
-        stats=_spider_stats_dict(stats),
-    )
-    return result, dict(res.leg_counts)
-
-
-def _solve_chain(chain: Chain, sc: Scenario) -> ScenarioResult:
-    stats = ChainRunStats()
-    if sc.kind == "makespan":
-        sched = schedule_chain_fast(chain, sc.n, stats=stats)
-        return ScenarioResult(
-            sc.id, True, sc.kind,
-            makespan=sched.makespan, n_tasks=sched.n_tasks,
-            stats=_chain_stats_dict(stats),
-        )
-    sched = schedule_chain_deadline_fast(chain, sc.t_lim, sc.n, stats=stats)
-    return ScenarioResult(
-        sc.id, True, sc.kind,
-        makespan=sched.makespan, n_tasks=sched.n_tasks, t_lim=sc.t_lim,
-        stats=_chain_stats_dict(stats),
-    )
-
-
-def _solve_star(star: Star, sc: Scenario) -> ScenarioResult:
-    stats = AllocStats()
-    if sc.kind == "makespan":
-        sched = fork_schedule(star, sc.n, allocator=sc.allocator, stats=stats)
-        return ScenarioResult(
-            sc.id, True, sc.kind,
-            makespan=sched.makespan, n_tasks=sched.n_tasks,
-            stats=_alloc_stats_dict(stats),
-        )
-    sched = fork_schedule_deadline(
-        star, sc.t_lim, sc.n, allocator=sc.allocator, stats=stats
-    )
-    return ScenarioResult(
-        sc.id, True, sc.kind,
-        makespan=sched.makespan, n_tasks=sched.n_tasks, t_lim=sc.t_lim,
-        stats=_alloc_stats_dict(stats),
-    )
-
 
 _NO_CAPS = object()
 
@@ -146,14 +48,15 @@ def _caps_cover(caps_budget: object, n: Optional[int]) -> bool:
 def run_group(group: Sequence[_IndexedScenario]) -> list[_IndexedResult]:
     """Solve one platform group (module-level so process pools can pickle).
 
-    Deadline scenarios on spiders run in descending ``t_lim`` order and
-    carry warm per-leg caps forward — per-leg counts are monotone in
+    Deadline scenarios on warm-cap-capable solvers run in descending
+    ``t_lim`` order and carry warm caps forward — the caps are monotone in
     ``t_lim``, so a larger deadline's counts bound every smaller one.
     """
     if not group:
         return []
     try:
         platform = platform_from_dict(group[0][1].platform)
+        solver = solver_for(platform)
     except Exception as exc:  # noqa: BLE001 - bad platform fails its group only
         return [
             (index, ScenarioResult(
@@ -163,7 +66,7 @@ def run_group(group: Sequence[_IndexedScenario]) -> list[_IndexedResult]:
         ]
 
     ordered: list[_IndexedScenario] = list(group)
-    if isinstance(platform, Spider):
+    if solver.supports_warm_caps:
         # warm sweep: big deadlines first (makespan scenarios sort last,
         # they warm themselves internally via the bisection)
         ordered.sort(
@@ -179,19 +82,36 @@ def run_group(group: Sequence[_IndexedScenario]) -> list[_IndexedResult]:
     for index, sc in ordered:
         t0 = time.perf_counter()
         try:
-            if isinstance(platform, Spider):
-                warm = caps if _caps_cover(caps_budget, sc.n) else None
-                result, new_caps = _solve_spider(platform, sc, warm)
-                if sc.kind == "deadline" and new_caps is not None:
-                    caps, caps_budget = new_caps, sc.n
-            elif isinstance(platform, Chain):
-                result = _solve_chain(platform, sc)
-            elif isinstance(platform, Star):
-                result = _solve_star(platform, sc)
-            else:
-                raise BatchError(
-                    f"unsupported platform kind for batch: {type(platform).__name__}"
-                )
+            warm = (
+                caps
+                if solver.supports_warm_caps and _caps_cover(caps_budget, sc.n)
+                else None
+            )
+            problem = Problem(
+                platform,
+                sc.kind,
+                n=sc.n,
+                t_lim=sc.t_lim,
+                allocator=sc.allocator,
+                options=sc.options,
+                warm_caps=warm,
+            )
+            solver.check_claims(problem)
+            solution = solver.solve(problem)
+            result = ScenarioResult(
+                sc.id, True, sc.kind,
+                makespan=solution.makespan,
+                n_tasks=solution.n_tasks,
+                t_lim=sc.t_lim if sc.kind == "deadline" else None,
+                stats=solution.stats,
+                rounds=(
+                    len(solution.extra["rounds"])
+                    if "rounds" in solution.extra else None
+                ),
+                coverage=solution.extra.get("coverage"),
+            )
+            if sc.kind == "deadline" and solution.warm_caps is not None:
+                caps, caps_budget = dict(solution.warm_caps), sc.n
         except Exception as exc:  # noqa: BLE001 - one bad scenario must not sink the batch
             result = ScenarioResult(
                 sc.id, False, sc.kind, error=f"{type(exc).__name__}: {exc}"

@@ -17,6 +17,7 @@ from typing import Any, Mapping, Optional, Sequence, Union
 
 from ..core.fork import DEFAULT_ALLOCATOR
 from ..core.types import ReproError, Time
+from ..io.json_io import PLATFORM_KINDS
 
 SCENARIO_SCHEMA = 1
 
@@ -42,6 +43,9 @@ class Scenario:
     n: Optional[int] = None
     t_lim: Optional[Time] = None
     allocator: str = DEFAULT_ALLOCATOR
+    #: solver-specific knobs forwarded to ``Problem.options`` — e.g.
+    #: ``{"max_rounds": 4}`` for tree scenarios.
+    options: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -50,6 +54,17 @@ class Scenario:
             raise BatchError(f"scenario {self.id!r}: makespan needs n >= 1")
         if self.kind == "deadline" and self.t_lim is None:
             raise BatchError(f"scenario {self.id!r}: deadline needs t_lim")
+        if not isinstance(self.platform, Mapping):
+            raise BatchError(
+                f"scenario {self.id!r}: platform must be a JSON dict, "
+                f"got {type(self.platform).__name__}"
+            )
+        platform_kind = self.platform.get("kind")
+        if platform_kind not in PLATFORM_KINDS:
+            raise BatchError(
+                f"scenario {self.id!r}: unknown platform kind "
+                f"{platform_kind!r} (loadable kinds: {', '.join(PLATFORM_KINDS)})"
+            )
 
     @property
     def platform_key(self) -> str:
@@ -67,6 +82,8 @@ class Scenario:
             d["n"] = self.n
         if self.t_lim is not None:
             d["t_lim"] = self.t_lim
+        if self.options:
+            d["options"] = dict(self.options)
         return d
 
     @staticmethod
@@ -79,6 +96,7 @@ class Scenario:
                 n=d.get("n"),
                 t_lim=d.get("t_lim"),
                 allocator=d.get("allocator", DEFAULT_ALLOCATOR),
+                options=d.get("options", {}),
             )
         except KeyError as exc:
             raise BatchError(f"scenario missing field {exc}") from None
@@ -97,6 +115,10 @@ class ScenarioResult:
     wall_s: float = 0.0
     error: Optional[str] = None
     stats: Mapping[str, Any] = field(default_factory=dict)
+    #: multi-round tree scenarios: covering rounds used ...
+    rounds: Optional[int] = None
+    #: ... and the fraction of the tree's workers that executed a task.
+    coverage: Optional[float] = None
 
     def to_dict(self) -> dict[str, Any]:
         d: dict[str, Any] = {
@@ -105,7 +127,7 @@ class ScenarioResult:
             "kind": self.kind,
             "wall_s": self.wall_s,
         }
-        for key in ("makespan", "n_tasks", "t_lim", "error"):
+        for key in ("makespan", "n_tasks", "t_lim", "error", "rounds", "coverage"):
             value = getattr(self, key)
             if value is not None:
                 d[key] = value
@@ -125,6 +147,8 @@ class ScenarioResult:
             wall_s=d.get("wall_s", 0.0),
             error=d.get("error"),
             stats=d.get("stats", {}),
+            rounds=d.get("rounds"),
+            coverage=d.get("coverage"),
         )
 
 

@@ -18,12 +18,18 @@ Commands
 ``steady``
     Bandwidth-centric steady-state throughput of a platform.
 ``tree``
-    Spider-cover heuristic on a random tree: ``repro tree --workers 8 -n 20``.
+    Multi-round spider-cover scheduling on a tree:
+    ``repro tree --workers 8 -n 20`` (makespan) or ``--tlim 60`` (deadline).
 ``failures``
     Online run with injected fail-stop workers:
     ``repro failures --leg 1/4,2/3 --leg 5/7 -n 20 --kill 6@1,1``.
 ``fig7``
     DOT rendering of the chain→fork transformation at a deadline.
+``batch``
+    Run a JSON scenario batch through the solver registry.
+
+Scheduling commands all answer through :func:`repro.solve.solve` — the
+platform-type dispatch lives in the solver registry, not here.
 
 All commands accept ``--gantt`` (ASCII chart), ``--svg PATH`` and
 ``--json PATH`` outputs, and ``--platform FILE`` to load a JSON platform
@@ -37,15 +43,8 @@ import sys
 from typing import Any, Sequence
 
 from .analysis.metrics import comparison_table, compute_metrics, format_table
-from .analysis.steady_state import (
-    chain_steady_state,
-    spider_steady_state,
-    star_steady_state,
-)
+from .analysis.steady_state import steady_state
 from .baselines.heuristics import ALL_HEURISTICS
-from .core.chain import schedule_chain
-from .core.fork import fork_schedule
-from .core.spider import spider_schedule
 from .core.feasibility import assert_feasible
 from .io.json_io import load_platform, save_schedule
 from .platforms.chain import Chain
@@ -53,6 +52,8 @@ from .platforms.presets import paper_fig2_chain
 from .platforms.spider import Spider
 from .platforms.star import Star
 from .sim.online import ONLINE_POLICIES, simulate_online
+from .solve import Problem, registered_solvers, solve
+from .trees.multiround import COVER_STRATEGIES
 from .viz.gantt import render_gantt
 from .viz.svg import save_svg
 
@@ -103,6 +104,13 @@ def _platform_from_args(args) -> Any:
     if getattr(args, "c", None) and getattr(args, "w", None):
         return Chain(_parse_ints_or_floats(args.c), _parse_ints_or_floats(args.w))
     raise SystemExit("no platform given (use --c/--w, --leg, --child or --platform)")
+
+
+def _solver_lines() -> str:
+    """The registered-solver list, one line per solver (drives batch help)."""
+    return "\n".join(
+        f"  {s.name:<8}{s.summary}" for s in registered_solvers()
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -160,11 +168,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--child", action="append")
     p.add_argument("--platform")
 
-    p = sub.add_parser("tree", help="spider-cover heuristic on a random tree")
+    p = sub.add_parser(
+        "tree", help="multi-round spider-cover scheduling on a tree"
+    )
     p.add_argument("--workers", type=int, default=8, help="number of workers")
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("-n", type=int, required=True)
-    p.add_argument("--dot", action="store_true", help="print the cover as DOT")
+    p.add_argument(
+        "--profile", default="balanced",
+        help="random-tree heterogeneity profile (see repro.platforms.generators)",
+    )
+    p.add_argument("--platform", help="tree platform JSON file (overrides --workers)")
+    p.add_argument("-n", type=int, required=True, help="task count / budget")
+    p.add_argument("--tlim", type=int, help="deadline mode: maximise tasks by TLIM")
+    p.add_argument("--rounds", type=int, default=None,
+                   help="cap on covering rounds (1 = the single-cover heuristic)")
+    p.add_argument("--strategy", default="throughput",
+                   choices=sorted(COVER_STRATEGIES), help="round-1 cover strategy")
+    p.add_argument("--residual", default="fresh",
+                   choices=sorted(COVER_STRATEGIES), help="round-2+ cover strategy")
+    p.add_argument("--dot", action="store_true", help="print the round-1 cover as DOT")
 
     p = sub.add_parser("failures", help="online run with injected failures")
     p.add_argument("--c", help="chain link latencies")
@@ -192,7 +214,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--platform")
     p.add_argument("--tlim", type=int, required=True)
 
-    p = sub.add_parser("batch", help="run a JSON scenario batch through the batch engine")
+    p = sub.add_parser(
+        "batch",
+        help="run a JSON scenario batch through the solver registry",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        description=(
+            "Run a JSON scenario batch; every scenario is dispatched through\n"
+            "the solver registry (repro.solve).  Registered solvers:\n"
+            + _solver_lines()
+        ),
+    )
     p.add_argument("--scenarios", required=True, metavar="FILE",
                    help="JSON file: {\"scenarios\": [{id, platform, kind, n|t_lim}, ...]}")
     p.add_argument("--workers", type=int, default=1,
@@ -214,7 +245,7 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "fig2":
         chain = paper_fig2_chain()
-        sched = schedule_chain(chain, 5)
+        sched = solve(Problem(chain, "makespan", n=5)).schedule
         assert_feasible(sched)
         print("Paper Fig. 2 — chain c=(2,3), w=(3,5), n=5")
         _emit(sched, args)
@@ -224,32 +255,27 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command in ("chain", "spider", "star"):
         platform = _platform_from_args(args)
-        if isinstance(platform, Chain):
-            sched = schedule_chain(platform, args.n)
-        elif isinstance(platform, Spider):
-            sched = spider_schedule(platform, args.n)
-        elif isinstance(platform, Star):
-            sched = fork_schedule(platform, args.n)
-        else:
-            raise SystemExit(f"unsupported platform for {args.command}")
+        sched = solve(Problem(platform, "makespan", n=args.n)).schedule
         assert_feasible(sched)
         _emit(sched, args)
         return 0
 
     if args.command == "compare":
+        from .solve import solver_for
+
         platform = _platform_from_args(args)
-        if isinstance(platform, Chain):
-            opt = schedule_chain(platform, args.n)
-        elif isinstance(platform, Spider):
-            opt = spider_schedule(platform, args.n)
-        elif isinstance(platform, Star):
-            opt = fork_schedule(platform, args.n)
-        else:
-            raise SystemExit("unsupported platform")
-        results = {"optimal (paper)": opt.makespan}
+        sol = solve(Problem(platform, "makespan", n=args.n))
+        # honest labelling: the tree solver is a heuristic, not the
+        # paper's optimum — don't present its makespan as "optimal".
+        reference = (
+            "optimal (paper)"
+            if solver_for(platform).exact
+            else f"{sol.solver} solver (heuristic)"
+        )
+        results = {reference: sol.makespan}
         for name, heuristic in ALL_HEURISTICS.items():
             results[name] = heuristic(platform, args.n).makespan
-        rows = comparison_table(results, "optimal (paper)")
+        rows = comparison_table(results, reference)
         print(format_table(["strategy", "makespan", "ratio"],
                            [(r.label, r.makespan, f"x{r.ratio:.3f}") for r in rows]))
         return 0
@@ -265,38 +291,61 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "steady":
-        platform = _platform_from_args(args)
-        if isinstance(platform, Chain):
-            ss = chain_steady_state(platform)
-        elif isinstance(platform, Spider):
-            ss = spider_steady_state(platform)
-        elif isinstance(platform, Star):
-            ss = star_steady_state(platform)
-        else:
-            raise SystemExit("unsupported platform")
+        ss = steady_state(_platform_from_args(args))
         print(f"throughput: {ss.throughput} tasks/unit  (= {float(ss.throughput):.4f})")
         print(f"child rates: {[str(r) for r in ss.child_rates]}")
         return 0
 
     if args.command == "tree":
-        from .analysis.steady_state import tree_steady_state
         from .platforms.generators import random_tree
-        from .trees.heuristic import best_path_cover, cover_efficiency, tree_schedule_by_cover
+        from .platforms.tree import Tree
+        from .trees.heuristic import SpiderCover
         from .viz.dot import platform_to_dot
 
-        tree = random_tree(args.workers, seed=args.seed)
-        cover = best_path_cover(tree)
-        sched = tree_schedule_by_cover(tree, args.n, cover)
-        assert_feasible(sched)
-        eff = cover_efficiency(tree, args.n, sched.makespan)
-        print(f"tree: {tree.p} workers (seed {args.seed}); spider? {tree.is_spider()}")
-        print(f"cover keeps {len(cover.covered)}/{tree.p} workers; "
-              f"dropped {sorted(cover.uncovered)}")
-        print(f"makespan for {args.n} tasks: {sched.makespan}")
-        print(f"tree steady-state bound: {tree_steady_state(tree).throughput}; "
-              f"cover efficiency: {eff:.1%}")
-        if args.dot:
-            print(platform_to_dot(cover.spider, "spider_cover"))
+        if args.platform:
+            tree = load_platform(args.platform)
+            if not isinstance(tree, Tree):
+                raise SystemExit("the tree command needs a tree platform")
+            origin = args.platform
+        else:
+            tree = random_tree(args.workers, profile=args.profile, seed=args.seed)
+            origin = f"seed {args.seed}, profile {args.profile}"
+        options: dict[str, Any] = {
+            "cover_strategy": args.strategy,
+            "residual_strategy": args.residual,
+        }
+        if args.rounds is not None:
+            options["max_rounds"] = args.rounds
+        if args.tlim is not None:
+            problem = Problem(tree, "deadline", n=args.n, t_lim=args.tlim,
+                              options=options)
+        else:
+            problem = Problem(tree, "makespan", n=args.n, options=options)
+        sol = solve(problem)
+        assert_feasible(sol.schedule)
+
+        print(f"tree: {tree.p} workers ({origin}); spider? {tree.is_spider()}")
+        rounds = sol.extra["rounds"]
+        print(format_table(
+            ["round", "tasks", "shift", "window", "completion", "new workers"],
+            [(r["index"], r["n_tasks"], r["shift"], r["window"], r["completion"],
+              ",".join(map(str, r["new_workers"])) or "-")
+             for r in rounds],
+        ))
+        served = {w for r in rounds for w in r["new_workers"]}
+        dropped = sorted(set(tree.workers) - served)
+        print(f"{len(rounds)} cover round(s) reach {len(served)}/{tree.p} workers; "
+              f"dropped {dropped}")
+        if args.tlim is not None:
+            print(f"tasks by Tlim={args.tlim}: {sol.n_tasks}   "
+                  f"(makespan {sol.makespan})")
+        else:
+            print(f"makespan for {args.n} tasks: {sol.makespan}")
+        print(f"tree steady-state bound: {steady_state(tree).throughput}; "
+              f"multi-round efficiency: {sol.extra['efficiency']:.1%}")
+        if args.dot and rounds:
+            legs = tuple(tuple(leg) for leg in rounds[0]["legs"])
+            print(platform_to_dot(SpiderCover(tree, legs).spider, "spider_cover"))
         return 0
 
     if args.command == "failures":
@@ -344,12 +393,14 @@ def main(argv: Sequence[str] | None = None) -> int:
                 "ok" if r.ok else "FAIL",
                 "" if r.makespan is None else r.makespan,
                 "" if r.n_tasks is None else r.n_tasks,
+                "" if r.rounds is None else r.rounds,
                 f"{r.wall_s:.4f}",
             )
             for r in results
         ]
         print(format_table(
-            ["scenario", "kind", "status", "makespan", "tasks", "seconds"], rows
+            ["scenario", "kind", "status", "makespan", "tasks", "rounds", "seconds"],
+            rows,
         ))
         failed = [r for r in results if not r.ok]
         print(f"{len(results) - len(failed)}/{len(results)} scenarios ok")

@@ -27,6 +27,10 @@ _KINDS = {
     "tree": Tree.from_dict,
 }
 
+#: The JSON ``kind`` tags this schema version can load — scenario
+#: validation in :mod:`repro.batch.scenarios` checks against this.
+PLATFORM_KINDS = tuple(sorted(_KINDS))
+
 Platform = Union[Chain, Star, Spider, Tree]
 
 

@@ -105,6 +105,14 @@ class Tree:
         """True iff only the root may have arity > 1 (paper §6)."""
         return all(self.graph.out_degree(v) <= 1 for v in self.workers)
 
+    def is_integer(self) -> bool:
+        """True iff every latency and work value is an ``int`` (exact
+        integer bisection is then valid, as for chains/spiders)."""
+        return all(
+            isinstance(self.latency(v), int) and isinstance(self.work(v), int)
+            for v in self.workers
+        )
+
     def to_chain(self) -> Chain:
         if not self.is_chain():
             raise PlatformError("tree is not a chain")

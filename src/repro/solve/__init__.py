@@ -1,0 +1,50 @@
+"""``repro.solve`` — the single entry point for scheduling questions.
+
+::
+
+    from repro.solve import Problem, solve
+    sol = solve(Problem(platform, "makespan", n=24))
+    sol.schedule, sol.makespan, sol.stats
+
+Platform dispatch happens through a registry keyed by platform type
+(:mod:`repro.solve.registry`); the built-in chain/star/spider/tree solvers
+(:mod:`repro.solve.solvers`) register themselves when this package is
+imported.  The CLI verbs, the batch engine, benchmarks and examples all
+consume this layer — none of them dispatch on platform types themselves.
+"""
+
+from .problem import KINDS, NoSolverError, Problem, Solution, SolveError
+from .registry import (
+    Solver,
+    register,
+    registered_solvers,
+    solve,
+    solver_for,
+    unregister,
+)
+from .solvers import (
+    BUILTIN_SOLVERS,
+    ChainSolver,
+    SpiderSolver,
+    StarSolver,
+    TreeSolver,
+)
+
+__all__ = [
+    "BUILTIN_SOLVERS",
+    "ChainSolver",
+    "KINDS",
+    "NoSolverError",
+    "Problem",
+    "Solution",
+    "SolveError",
+    "Solver",
+    "SpiderSolver",
+    "StarSolver",
+    "TreeSolver",
+    "register",
+    "registered_solvers",
+    "solve",
+    "solver_for",
+    "unregister",
+]

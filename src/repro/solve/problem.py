@@ -1,0 +1,79 @@
+"""The solve layer's records: :class:`Problem` in, :class:`Solution` out.
+
+A *problem* is one scheduling question about one platform: either
+"minimise the makespan of ``n`` tasks" (``kind="makespan"``) or "complete
+as many tasks as possible — at most ``n``, if given — by ``t_lim``"
+(``kind="deadline"``), plus engine options (allocator choice, per-solver
+tuning in ``options``, warm-start caps for solvers that support them).
+
+A *solution* wraps the schedule with the answer headline (makespan, task
+count), the solver's operation counters, optional warm caps for the next
+smaller-deadline problem on the same platform, and solver-specific
+``extra`` detail (e.g. the per-round story of the multi-round tree
+scheduler).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from ..core.fork import DEFAULT_ALLOCATOR
+from ..core.schedule import Schedule
+from ..core.types import ReproError, Time
+
+KINDS = ("makespan", "deadline")
+
+
+class SolveError(ReproError):
+    """A problem the solve layer cannot express or answer."""
+
+
+class NoSolverError(SolveError):
+    """No registered solver claims the problem's platform type."""
+
+
+@dataclass(frozen=True)
+class Problem:
+    """One solve request against one platform (any registered type)."""
+
+    platform: Any
+    kind: str = "makespan"
+    n: Optional[int] = None
+    t_lim: Optional[Time] = None
+    allocator: str = DEFAULT_ALLOCATOR
+    #: solver-specific knobs, e.g. ``{"max_rounds": 4}`` for trees.
+    options: Mapping[str, Any] = field(default_factory=dict)
+    #: warm-start caps from a previous solve at a looser deadline; only
+    #: meaningful for solvers with ``supports_warm_caps``.
+    warm_caps: Optional[Mapping[int, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise SolveError(f"unknown problem kind {self.kind!r}; expected {KINDS}")
+        if self.kind == "makespan" and (self.n is None or self.n < 1):
+            raise SolveError("makespan problems need n >= 1")
+        if self.kind == "deadline" and self.t_lim is None:
+            raise SolveError("deadline problems need t_lim")
+
+
+@dataclass
+class Solution:
+    """A solver's answer: the schedule plus everything around it."""
+
+    problem: Problem
+    schedule: Schedule
+    solver: str
+    stats: dict[str, Any] = field(default_factory=dict)
+    #: caps reusable by the same solver at a smaller deadline (same platform).
+    warm_caps: Optional[dict[int, int]] = None
+    #: solver-specific detail, e.g. {"rounds": [...], "coverage": 0.8}.
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> Time:
+        return self.schedule.makespan
+
+    @property
+    def n_tasks(self) -> int:
+        return self.schedule.n_tasks

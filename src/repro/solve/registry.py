@@ -1,0 +1,117 @@
+"""The solver registry: platform type → solver, and ``solve()`` on top.
+
+Every layer that answers scheduling questions — the CLI verbs, the batch
+engine, benchmarks, examples — goes through :func:`solve`, so supporting a
+new platform means registering one solver here, not growing ``if/elif``
+ladders in each consumer.
+
+A solver claims exactly one platform class (subclasses resolve through the
+MRO), declares which question kinds it answers, and says whether it can
+reuse warm-start caps across a descending deadline sweep
+(``supports_warm_caps`` — the batch runner keys its cap hand-off on it).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .problem import NoSolverError, Problem, Solution, SolveError
+
+__all__ = [
+    "Solver",
+    "register",
+    "registered_solvers",
+    "solve",
+    "solver_for",
+    "unregister",
+]
+
+
+class Solver:
+    """Base class for registered solvers.
+
+    Class attributes define the claim; :meth:`solve` answers a problem
+    whose ``platform`` is an instance of ``platform_type``.
+    """
+
+    #: short name shown in CLI help and batch errors, e.g. ``"spider"``.
+    name: str = ""
+    #: the platform class this solver claims.
+    platform_type: type = object
+    #: question kinds the solver answers.
+    kinds: tuple[str, ...] = ("makespan", "deadline")
+    #: True if deadline solves accept/produce warm caps (monotone in t_lim).
+    supports_warm_caps: bool = False
+    #: True when the solver is provably optimal (the paper's algorithms);
+    #: False for heuristics (trees) — consumers use this for honest labels.
+    exact: bool = True
+    #: option keys the solver understands (anything else is a typo).
+    option_keys: tuple[str, ...] = ()
+    #: one-line description for generated docs/help.
+    summary: str = ""
+
+    def solve(self, problem: Problem) -> Solution:
+        raise NotImplementedError
+
+    def check_claims(self, problem: Problem) -> None:
+        """Raise :class:`SolveError` on unsupported kinds or unknown options."""
+        if problem.kind not in self.kinds:
+            raise SolveError(
+                f"solver {self.name!r} does not answer {problem.kind!r} "
+                f"problems (supported: {', '.join(self.kinds)})"
+            )
+        unknown = set(problem.options) - set(self.option_keys)
+        if unknown:
+            raise SolveError(
+                f"solver {self.name!r} does not understand option(s) "
+                f"{sorted(unknown)} (supported: {sorted(self.option_keys) or 'none'})"
+            )
+
+
+_REGISTRY: dict[type, Solver] = {}
+
+
+def register(solver: Solver, *, replace: bool = False) -> Solver:
+    """Register ``solver`` for its ``platform_type``; returns it unchanged.
+
+    Re-registering a claimed type needs ``replace=True`` — accidental
+    double registration is a bug worth failing loudly on.
+    """
+    cls = solver.platform_type
+    if cls in _REGISTRY and not replace:
+        raise SolveError(
+            f"platform type {cls.__name__} already claimed by solver "
+            f"{_REGISTRY[cls].name!r} (pass replace=True to override)"
+        )
+    _REGISTRY[cls] = solver
+    return solver
+
+
+def unregister(platform_type: type) -> None:
+    """Drop the claim on ``platform_type`` (no-op if unclaimed)."""
+    _REGISTRY.pop(platform_type, None)
+
+
+def solver_for(platform: Any) -> Solver:
+    """The registered solver claiming ``platform``'s type (MRO-resolved)."""
+    for cls in type(platform).__mro__:
+        solver = _REGISTRY.get(cls)
+        if solver is not None:
+            return solver
+    names = ", ".join(s.name for s in registered_solvers()) or "none"
+    raise NoSolverError(
+        f"no registered solver claims platform type "
+        f"{type(platform).__name__!r} (registered solvers: {names})"
+    )
+
+
+def registered_solvers() -> list[Solver]:
+    """All registered solvers, sorted by name (drives CLI help and docs)."""
+    return sorted(_REGISTRY.values(), key=lambda s: s.name)
+
+
+def solve(problem: Problem) -> Solution:
+    """Answer ``problem`` with the registered solver for its platform."""
+    solver = solver_for(problem.platform)
+    solver.check_claims(problem)
+    return solver.solve(problem)

@@ -1,0 +1,190 @@
+"""The built-in solvers: one per platform class, registered on import.
+
+Each solver wraps the corresponding optimal algorithm (or, for general
+trees, the multi-round cover heuristic) and normalises its operation
+counters into the flat ``stats`` dict the batch engine archives.
+"""
+
+from __future__ import annotations
+
+from ..core.chain import ChainRunStats
+from ..core.chain_fast import schedule_chain_deadline_fast, schedule_chain_fast
+from ..core.fork import AllocStats, fork_schedule, fork_schedule_deadline
+from ..core.spider import (
+    SpiderRunStats,
+    spider_schedule,
+    spider_schedule_deadline,
+)
+from ..platforms.chain import Chain
+from ..platforms.spider import Spider
+from ..platforms.star import Star
+from ..platforms.tree import Tree
+from ..trees.multiround import (
+    COVER_STRATEGIES,
+    DEFAULT_MAX_ROUNDS,
+    tree_schedule_multiround,
+    tree_schedule_multiround_deadline,
+)
+from .problem import Problem, Solution
+from .registry import Solver, register
+
+
+def _chain_stats_dict(stats: ChainRunStats) -> dict:
+    return {
+        "tasks_placed": stats.tasks_placed,
+        "candidates_evaluated": stats.candidates_evaluated,
+        "vector_elements": stats.vector_elements,
+        "comparisons": stats.comparisons,
+    }
+
+
+def _alloc_stats_dict(stats: AllocStats) -> dict:
+    return {
+        "alloc_candidates": stats.candidates,
+        "alloc_structure_ops": stats.structure_ops,
+    }
+
+
+def _spider_stats_dict(stats: SpiderRunStats) -> dict:
+    return {
+        "probes": stats.probes,
+        "probes_short_circuited": stats.probes_short_circuited,
+        "legs_scheduled": stats.legs_scheduled,
+        "legs_skipped": stats.legs_skipped,
+        "fork_nodes": stats.fork_nodes,
+        "chain_vector_elements": stats.chain.vector_elements,
+        "alloc_candidates": stats.alloc.candidates,
+        "alloc_structure_ops": stats.alloc.structure_ops,
+    }
+
+
+class ChainSolver(Solver):
+    """Optimal chain scheduling (Theorem 1) via the ``O(n·p)`` fast path."""
+
+    name = "chain"
+    platform_type = Chain
+    summary = "optimal on chains — backward greedy, O(n*p) fast path"
+
+    def solve(self, problem: Problem) -> Solution:
+        chain: Chain = problem.platform
+        stats = ChainRunStats()
+        if problem.kind == "makespan":
+            sched = schedule_chain_fast(chain, problem.n, stats=stats)
+        else:
+            sched = schedule_chain_deadline_fast(
+                chain, problem.t_lim, problem.n, stats=stats
+            )
+        return Solution(problem, sched, self.name, _chain_stats_dict(stats))
+
+
+class StarSolver(Solver):
+    """Optimal star (fork-graph) scheduling, Beaumont et al. (§6)."""
+
+    name = "star"
+    platform_type = Star
+    summary = "optimal on stars — fork-graph allocator of Beaumont et al."
+
+    def solve(self, problem: Problem) -> Solution:
+        star: Star = problem.platform
+        stats = AllocStats()
+        if problem.kind == "makespan":
+            sched = fork_schedule(
+                star, problem.n, allocator=problem.allocator, stats=stats
+            )
+        else:
+            sched = fork_schedule_deadline(
+                star,
+                problem.t_lim,
+                problem.n,
+                allocator=problem.allocator,
+                stats=stats,
+            )
+        return Solution(problem, sched, self.name, _alloc_stats_dict(stats))
+
+
+class SpiderSolver(Solver):
+    """Optimal spider scheduling (§7, Theorems 2–3), warm-cap capable."""
+
+    name = "spider"
+    platform_type = Spider
+    supports_warm_caps = True
+    summary = "optimal on spiders — chain+fork pipeline, warm-started bisection"
+
+    def solve(self, problem: Problem) -> Solution:
+        spider: Spider = problem.platform
+        stats = SpiderRunStats()
+        if problem.kind == "makespan":
+            sched = spider_schedule(
+                spider, problem.n, allocator=problem.allocator, stats=stats
+            )
+            return Solution(problem, sched, self.name, _spider_stats_dict(stats))
+        caps = dict(problem.warm_caps) if problem.warm_caps is not None else None
+        res = spider_schedule_deadline(
+            spider,
+            problem.t_lim,
+            problem.n,
+            allocator=problem.allocator,
+            stats=stats,
+            leg_caps=caps,
+        )
+        return Solution(
+            problem,
+            res.schedule,
+            self.name,
+            _spider_stats_dict(stats),
+            warm_caps=dict(res.leg_counts),
+        )
+
+
+class TreeSolver(Solver):
+    """Multi-round spider-cover scheduling on general trees (§8 program)."""
+
+    name = "tree"
+    platform_type = Tree
+    exact = False  # a heuristic: optimal only per round, on its cover
+    option_keys = ("max_rounds", "cover_strategy", "residual_strategy")
+    summary = (
+        "multi-round spider covers on general trees — "
+        f"strategies: {', '.join(sorted(COVER_STRATEGIES))}"
+    )
+
+    def solve(self, problem: Problem) -> Solution:
+        tree: Tree = problem.platform
+        opts = problem.options
+        kwargs = dict(
+            cover_strategy=opts.get("cover_strategy", "throughput"),
+            residual_strategy=opts.get("residual_strategy", "fresh"),
+            max_rounds=int(opts.get("max_rounds", DEFAULT_MAX_ROUNDS)),
+            allocator=problem.allocator,
+        )
+        stats = SpiderRunStats()
+        if problem.kind == "makespan":
+            result = tree_schedule_multiround(
+                tree, problem.n, stats=stats, **kwargs
+            )
+        else:
+            result = tree_schedule_multiround_deadline(
+                tree, problem.t_lim, problem.n, stats=stats, **kwargs
+            )
+        # the round count's single source of truth is len(extra["rounds"]);
+        # consumers (batch rows, CLI) derive it rather than carrying copies.
+        return Solution(
+            problem,
+            result.schedule,
+            self.name,
+            _spider_stats_dict(stats),
+            extra={
+                "rounds": [r.to_dict() for r in result.rounds],
+                "coverage": result.coverage,
+                "efficiency": result.efficiency(),
+            },
+        )
+
+
+#: The default registrations — importing :mod:`repro.solve` activates them.
+BUILTIN_SOLVERS = (
+    register(ChainSolver()),
+    register(StarSolver()),
+    register(SpiderSolver()),
+    register(TreeSolver()),
+)

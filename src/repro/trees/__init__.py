@@ -1,4 +1,9 @@
-"""General-tree scheduling heuristics by spider covering (paper §8)."""
+"""General-tree scheduling heuristics by spider covering (paper §8).
+
+Two generations: the single-shot cover (:mod:`repro.trees.heuristic`) and
+the multi-round cover scheduler (:mod:`repro.trees.multiround`) that
+re-covers the residual tree round after round, interleaving the rounds
+through each other's idle resource gaps."""
 
 from .heuristic import (
     SpiderCover,
@@ -7,11 +12,23 @@ from .heuristic import (
     greedy_depth_cover,
     tree_schedule_by_cover,
 )
+from .multiround import (
+    COVER_STRATEGIES,
+    MultiRoundResult,
+    RoundReport,
+    tree_schedule_multiround,
+    tree_schedule_multiround_deadline,
+)
 
 __all__ = [
+    "COVER_STRATEGIES",
+    "MultiRoundResult",
+    "RoundReport",
     "SpiderCover",
     "best_path_cover",
     "cover_efficiency",
     "greedy_depth_cover",
     "tree_schedule_by_cover",
+    "tree_schedule_multiround",
+    "tree_schedule_multiround_deadline",
 ]

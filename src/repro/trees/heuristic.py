@@ -59,6 +59,20 @@ class SpiderCover:
         """Tree node at spider position ``(leg, pos)`` (1-based)."""
         return self.legs[leg - 1][pos - 1]
 
+    def tree_assignment(
+        self, a: TaskAssignment, task: int | None = None
+    ) -> TaskAssignment:
+        """Re-address one cover-spider assignment onto its tree node (the
+        single place the spider→tree mapping lives; ``task`` overrides the
+        id for callers that renumber later)."""
+        leg, pos = a.processor
+        return TaskAssignment(
+            a.task if task is None else task,
+            self.node_of(leg, pos),
+            a.start,
+            CommVector(a.comms.times),
+        )
+
 
 def best_path_cover(tree: Tree) -> SpiderCover:
     """Keep, under each child of the master, the path with the highest
@@ -102,9 +116,7 @@ def tree_schedule_by_cover(
     spider_sched = spider_schedule(cover.spider, n)
     out = Schedule(tree)
     for a in spider_sched:
-        leg, pos = a.processor
-        node = cover.node_of(leg, pos)
-        out.add(TaskAssignment(a.task, node, a.start, CommVector(a.comms.times)))
+        out.add(cover.tree_assignment(a))
     return out
 
 

@@ -218,3 +218,83 @@ class TestSerialisation:
         }))
         (sc,) = load_scenarios(path)
         assert sc.id == "x"
+
+
+class TestTreeScenarios:
+    """kind: "tree" platforms end-to-end through the registry dispatch."""
+
+    def _tree_dict(self, seed=310):
+        from repro.io.json_io import platform_to_dict
+        from repro.platforms.generators import random_tree
+
+        return platform_to_dict(random_tree(9, profile="cpu_heavy", seed=seed))
+
+    def test_tree_deadline_end_to_end(self):
+        (r,) = run_batch([
+            Scenario("t", self._tree_dict(), "deadline", t_lim=90),
+        ])
+        assert r.ok and r.n_tasks > 0 and r.makespan <= 90
+        assert r.rounds >= 1
+        assert 0 < r.coverage <= 1
+
+    def test_tree_makespan_end_to_end(self):
+        (r,) = run_batch([
+            Scenario("t", self._tree_dict(), "makespan", n=12),
+        ])
+        assert r.ok and r.n_tasks == 12
+
+    def test_tree_options_flow_through(self):
+        pdict = self._tree_dict()
+        single, multi = run_batch([
+            Scenario("single", pdict, "deadline", t_lim=120,
+                     options={"max_rounds": 1}),
+            Scenario("multi", pdict, "deadline", t_lim=120),
+        ])
+        assert single.ok and multi.ok
+        assert single.rounds == 1
+        assert multi.n_tasks >= single.n_tasks
+
+    def test_tree_results_serialise_rounds_and_coverage(self, tmp_path):
+        import json
+
+        results = run_batch([
+            Scenario("t", self._tree_dict(), "deadline", t_lim=90),
+        ])
+        payload = json.loads(save_results(results, tmp_path / "r.json").read_text())
+        row = payload["results"][0]
+        assert row["rounds"] >= 1 and 0 < row["coverage"] <= 1
+        back = ScenarioResult.from_dict(row)
+        assert back.rounds == results[0].rounds
+        assert back.coverage == results[0].coverage
+
+    def test_unknown_platform_kind_is_a_clear_batch_error(self):
+        with pytest.raises(BatchError, match="ring"):
+            Scenario("bad", {"kind": "ring", "nodes": 3}, "makespan", n=2)
+
+    def test_unclaimed_platform_type_reports_no_solver(self, monkeypatch):
+        """If no registered solver claims the platform, the scenario fails
+        with an error naming the registered solvers, without sinking the
+        batch."""
+        from repro.platforms.tree import Tree
+        from repro.solve import registry
+
+        monkeypatch.setitem(
+            registry.__dict__, "_REGISTRY",
+            {k: v for k, v in registry._REGISTRY.items() if k is not Tree},
+        )
+        good_dict = _spider_dict()
+        bad, good = run_batch([
+            Scenario("bad", self._tree_dict(), "makespan", n=2),
+            Scenario("good", good_dict, "makespan", n=2),
+        ])
+        assert good.ok
+        assert not bad.ok and "no registered solver" in bad.error
+
+    def test_bad_tree_option_fails_that_scenario_only(self):
+        pdict = self._tree_dict()
+        bad, good = run_batch([
+            Scenario("bad", pdict, "makespan", n=2, options={"wat": 1}),
+            Scenario("good", pdict, "makespan", n=2),
+        ])
+        assert not bad.ok and "wat" in bad.error
+        assert good.ok

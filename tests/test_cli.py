@@ -184,3 +184,87 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["warp"])
+
+
+class TestTreeMultiRound:
+    def test_tree_deadline_mode_prints_rounds(self, capsys):
+        assert main(["tree", "--workers", "9", "--profile", "cpu_heavy",
+                     "--seed", "310", "-n", "40", "--tlim", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "cover round(s)" in out
+        assert "tasks by Tlim=120" in out
+        assert "multi-round efficiency" in out
+
+    def test_tree_round_cap_flag(self, capsys):
+        assert main(["tree", "--workers", "9", "--profile", "cpu_heavy",
+                     "--seed", "310", "-n", "40", "--tlim", "120",
+                     "--rounds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "1 cover round(s)" in out
+
+    def test_tree_strategy_flags(self, capsys):
+        assert main(["tree", "--workers", "6", "-n", "8",
+                     "--strategy", "widest", "--residual", "widest"]) == 0
+        assert "makespan" in capsys.readouterr().out
+
+    def test_tree_platform_file(self, capsys, tmp_path):
+        from repro.platforms.generators import random_tree
+
+        path = tmp_path / "tree.json"
+        save_platform(random_tree(5, seed=3), path)
+        assert main(["tree", "--platform", str(path), "-n", "6"]) == 0
+        assert "5 workers" in capsys.readouterr().out
+
+    def test_tree_rejects_non_tree_platform(self, tmp_path):
+        path = tmp_path / "chain.json"
+        save_platform(Chain(c=(2,), w=(3,)), path)
+        with pytest.raises(SystemExit):
+            main(["tree", "--platform", str(path), "-n", "4"])
+
+
+class TestSolverRegistryHelp:
+    def test_batch_help_lists_registered_solvers(self, capsys):
+        from repro.solve import registered_solvers
+
+        with pytest.raises(SystemExit):
+            main(["batch", "--help"])
+        out = capsys.readouterr().out
+        for solver in registered_solvers():
+            assert solver.name in out
+        assert "solver registry" in out
+
+    def test_no_solve_ladders_left(self):
+        """The acceptance guard: cli.py and batch/runner.py must contain no
+        per-platform isinstance/elif solve ladders (the registry is the only
+        platform dispatch)."""
+        import inspect
+
+        import repro.batch.runner as runner_mod
+        import repro.cli as cli_mod
+
+        for mod in (cli_mod, runner_mod):
+            source = inspect.getsource(mod)
+            assert "isinstance(platform, Chain)" not in source
+            assert "isinstance(platform, Star)" not in source
+            assert "elif isinstance" not in source
+
+    def test_batch_cli_runs_tree_scenarios(self, capsys, tmp_path):
+        import json
+
+        from repro.io.json_io import platform_to_dict
+        from repro.platforms.generators import random_tree
+
+        pdict = platform_to_dict(random_tree(8, profile="cpu_heavy", seed=316))
+        path = tmp_path / "scenarios.json"
+        path.write_text(json.dumps({
+            "schema": 1,
+            "scenarios": [
+                {"id": "tree-mk", "platform": pdict, "kind": "makespan", "n": 6},
+                {"id": "tree-dl", "platform": pdict, "kind": "deadline",
+                 "t_lim": 90},
+            ],
+        }))
+        assert main(["batch", "--scenarios", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 scenarios ok" in out
+        assert "tree-mk" in out and "tree-dl" in out

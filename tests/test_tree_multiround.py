@@ -1,0 +1,174 @@
+"""Property tests for the multi-round spider-cover tree scheduler.
+
+The invariants under test:
+
+* every composed schedule is feasible *on the tree* — all four Definition-1
+  conditions, in particular one outgoing send per node at a time and
+  hop-by-hop relay timing (conditions 4 and 1);
+* every task completes by the deadline (deadline mode);
+* the multi-round schedule never places fewer tasks than the single-cover
+  heuristic at the same deadline, and never has a larger makespan in
+  makespan mode (round 1 *is* the single cover);
+* whenever a second round exists it actually reaches workers the first
+  round missed (on capacity-gapped trees);
+* budgets are hard caps.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.steady_state import spider_steady_state, tree_steady_state
+from repro.core.feasibility import check, check_deadline
+from repro.core.spider import spider_schedule_deadline
+from repro.platforms.generators import random_tree
+from repro.platforms.tree import Tree
+from repro.trees.heuristic import best_path_cover, tree_schedule_by_cover
+from repro.trees.multiround import (
+    COVER_STRATEGIES,
+    tree_schedule_multiround,
+    tree_schedule_multiround_deadline,
+)
+
+
+def _random_tree(seed: int, profile: str = "balanced", lo: int = 4, hi: int = 10) -> Tree:
+    rng = random.Random(seed)
+    return random_tree(rng.randint(lo, hi), profile=profile, rng=rng)
+
+
+def _capacity_gap(tree: Tree) -> float:
+    """1 − (best single cover rate / tree rate): what covering drops."""
+    cover_rate = spider_steady_state(best_path_cover(tree).spider).throughput
+    tree_rate = tree_steady_state(tree).throughput
+    return 1 - float(cover_rate) / float(tree_rate)
+
+
+def _gapped_tree(seed: int, min_gap: float = 0.15) -> Tree:
+    """A cpu_heavy random tree whose single cover drops >= min_gap capacity."""
+    probe = seed
+    while True:
+        tree = _random_tree(probe, profile="cpu_heavy", lo=9, hi=13)
+        if _capacity_gap(tree) >= min_gap:
+            return tree
+        probe += 1
+
+
+class TestFeasibility:
+    @given(st.integers(0, 200), st.sampled_from(["balanced", "cpu_bound", "cpu_heavy"]))
+    @settings(max_examples=30, deadline=None)
+    def test_deadline_schedule_is_feasible_on_the_tree(self, seed, profile):
+        tree = _random_tree(seed, profile)
+        t_lim = 3 * sum(tree.work(v) for v in tree.workers) // tree.p
+        result = tree_schedule_multiround_deadline(tree, t_lim)
+        assert check(result.schedule) == []
+        assert check_deadline(result.schedule, t_lim) == []
+
+    @given(st.integers(0, 200), st.integers(1, 25))
+    @settings(max_examples=30, deadline=None)
+    def test_makespan_schedule_is_feasible(self, seed, n):
+        tree = _random_tree(seed)
+        result = tree_schedule_multiround(tree, n)
+        assert check(result.schedule) == []
+        assert result.n_tasks == n
+
+    def test_rounds_are_port_exclusive_even_when_they_interleave(self):
+        """A multi-round composition must keep every send port serial —
+        the checker's condition 4 on an instance known to use 4+ rounds."""
+        tree = _gapped_tree(310)
+        t_lim = 2 * tree_schedule_by_cover(tree, 24).makespan
+        result = tree_schedule_multiround_deadline(tree, t_lim)
+        assert len(result.rounds) >= 2
+        assert check(result.schedule) == []
+
+
+class TestNeverLoses:
+    @given(st.integers(0, 300), st.sampled_from(["balanced", "cpu_bound", "cpu_heavy"]))
+    @settings(max_examples=30, deadline=None)
+    def test_deadline_task_count_at_least_single_cover(self, seed, profile):
+        tree = _random_tree(seed, profile)
+        cover = best_path_cover(tree)
+        t_lim = 2 * sum(tree.work(v) for v in tree.workers) // tree.p
+        single = spider_schedule_deadline(cover.spider, t_lim).n_tasks
+        multi = tree_schedule_multiround_deadline(tree, t_lim)
+        assert multi.n_tasks >= single
+
+    @given(st.integers(0, 300), st.integers(2, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_makespan_at_most_single_cover(self, seed, n):
+        tree = _random_tree(seed)
+        single = tree_schedule_by_cover(tree, n).makespan
+        multi = tree_schedule_multiround(tree, n)
+        assert multi.makespan <= single
+
+    def test_round_one_is_bit_identical_to_single_cover(self):
+        tree = _random_tree(7, "cpu_heavy")
+        t_lim = 2 * tree_schedule_by_cover(tree, 12).makespan
+        single = spider_schedule_deadline(best_path_cover(tree).spider, t_lim)
+        multi = tree_schedule_multiround_deadline(tree, t_lim, max_rounds=1)
+        assert multi.n_tasks == single.n_tasks
+        assert multi.makespan == single.schedule.makespan
+
+
+class TestUncoveredWorkerInvariants:
+    """Round 2+ must actually reach workers round 1 missed."""
+
+    @pytest.mark.parametrize("seed", [303, 304, 305, 310, 316, 320])
+    def test_later_rounds_reach_workers_missed_by_round_one(self, seed):
+        tree = _gapped_tree(seed)
+        t_lim = 2 * tree_schedule_by_cover(tree, 24).makespan
+        result = tree_schedule_multiround_deadline(tree, t_lim)
+        assert len(result.rounds) >= 2, "gapped trees must trigger re-covering"
+        round1_workers = set(result.rounds[0].new_workers)
+        later = {w for r in result.rounds[1:] for w in r.new_workers}
+        assert later, "rounds 2+ must serve at least one fresh worker"
+        assert later.isdisjoint(round1_workers)
+        uncovered = {v for v in tree.workers} - round1_workers
+        assert later <= uncovered
+
+    def test_coverage_grows_monotonically_with_round_budget(self):
+        tree = _gapped_tree(310)
+        t_lim = 2 * tree_schedule_by_cover(tree, 24).makespan
+        coverages = [
+            tree_schedule_multiround_deadline(tree, t_lim, max_rounds=k).coverage
+            for k in (1, 2, 4, 8)
+        ]
+        assert all(a <= b for a, b in zip(coverages, coverages[1:]))
+        assert coverages[-1] > coverages[0]
+
+    def test_round_reports_match_schedule(self):
+        tree = _gapped_tree(316)
+        t_lim = 2 * tree_schedule_by_cover(tree, 24).makespan
+        result = tree_schedule_multiround_deadline(tree, t_lim)
+        assert sum(r.n_tasks for r in result.rounds) == result.n_tasks
+        reported = {w for r in result.rounds for w in r.new_workers}
+        assert reported == result.served_workers
+        assert max(r.completion for r in result.rounds) == result.makespan
+
+
+class TestBudgetsAndOptions:
+    @given(st.integers(0, 100), st.integers(1, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_deadline_budget_is_a_hard_cap(self, seed, n):
+        tree = _random_tree(seed, "cpu_heavy")
+        t_lim = 2 * sum(tree.work(v) for v in tree.workers) // tree.p
+        result = tree_schedule_multiround_deadline(tree, t_lim, n)
+        assert result.n_tasks <= n
+
+    def test_unknown_strategy_rejected(self):
+        tree = _random_tree(1)
+        with pytest.raises(Exception, match="strategy"):
+            tree_schedule_multiround_deadline(tree, 10, cover_strategy="mystery")
+        with pytest.raises(Exception, match="strategy"):
+            tree_schedule_multiround(tree, 3, residual_strategy="mystery")
+
+    @pytest.mark.parametrize("strategy", sorted(COVER_STRATEGIES))
+    def test_all_strategies_produce_feasible_schedules(self, strategy):
+        tree = _gapped_tree(304)
+        t_lim = 2 * tree_schedule_by_cover(tree, 18).makespan
+        result = tree_schedule_multiround_deadline(
+            tree, t_lim, cover_strategy=strategy, residual_strategy=strategy
+        )
+        assert check(result.schedule) == []
+        assert result.n_tasks > 0
