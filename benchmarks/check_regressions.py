@@ -5,14 +5,18 @@ Usage (opt-in, not part of the default pytest run)::
     python -m benchmarks.check_regressions            # compare vs baselines
     python -m benchmarks.check_regressions --update   # rewrite the baselines
     python -m benchmarks.check_regressions --skip-legacy   # fast paths only
+    python -m benchmarks.check_regressions --family online  # one family only
 
-Two committed baseline files, one per kernel family:
+Three committed baseline files, one per kernel family:
 
 * ``BENCH_spider.json`` — the spider/chain/allocator/batch kernels plus the
   headline ``speedup`` block;
 * ``BENCH_tree.json`` — the multi-round tree suite (single-cover vs
   multi-round task counts through the batch engine) plus per-tree detail
-  under ``suite``.
+  under ``suite``;
+* ``BENCH_online.json`` — the online-policy regret suite (policies ×
+  platforms vs the offline optimum, replay-validated through the batch
+  engine) plus per-platform detail under ``suite``.
 
 Every kernel is run fresh; a kernel slower than ``--threshold`` (default
 2×) its committed seconds fails the check.  Operation counters (and for
@@ -35,6 +39,7 @@ if str(_REPO / "src") not in sys.path:  # `python -m benchmarks.…` needs src/
 _HERE = Path(__file__).resolve().parent
 SPIDER_BASELINE_PATH = _HERE / "BENCH_spider.json"
 TREE_BASELINE_PATH = _HERE / "BENCH_tree.json"
+ONLINE_BASELINE_PATH = _HERE / "BENCH_online.json"
 
 #: counters that may legitimately wobble run-to-run (none today — wall clock
 #: is the only non-deterministic field, and it is threshold-compared).
@@ -85,8 +90,19 @@ def build_tree_payload(kernels: dict[str, dict]) -> dict:
     }
 
 
+def build_online_payload(kernels: dict[str, dict]) -> dict:
+    from benchmarks.kernels import LAST_ONLINE_SUITE_ROWS, online_suite_results
+
+    suite = list(LAST_ONLINE_SUITE_ROWS) or online_suite_results()
+    return {
+        "schema": 1,
+        "kernels": kernels,
+        "suite": suite,
+    }
+
+
 def _families() -> list[dict]:
-    from benchmarks.kernels import KERNELS, TREE_KERNELS
+    from benchmarks.kernels import KERNELS, ONLINE_KERNELS, TREE_KERNELS
 
     return [
         {
@@ -100,6 +116,12 @@ def _families() -> list[dict]:
             "path": TREE_BASELINE_PATH,
             "kernels": TREE_KERNELS,
             "payload": build_tree_payload,
+        },
+        {
+            "name": "online",
+            "path": ONLINE_BASELINE_PATH,
+            "kernels": ONLINE_KERNELS,
+            "payload": build_online_payload,
         },
     ]
 
@@ -159,11 +181,21 @@ def main(argv: list[str] | None = None) -> int:
         default=2.0,
         help="max allowed seconds ratio vs baseline (default 2.0)",
     )
+    parser.add_argument(
+        "--family",
+        choices=[f["name"] for f in _families()],
+        default=None,
+        help="check/update only this kernel family (default: all)",
+    )
     args = parser.parse_args(argv)
 
     failures: list[str] = []
     missing_count = 0
-    for family in _families():
+    families = [
+        f for f in _families()
+        if args.family is None or f["name"] == args.family
+    ]
+    for family in families:
         print(f"running {family['name']} kernels:")
         fresh = run_family(family["kernels"], skip_legacy=args.skip_legacy)
 

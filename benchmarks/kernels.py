@@ -340,3 +340,113 @@ LEGACY_KERNELS = {
 TREE_KERNELS: dict[str, Callable[[], dict]] = {
     "tree_multiround_suite": kernel_tree_multiround_suite,
 }
+
+
+# ---------------------------------------------------------------------------
+# The online acceptance suite: policies × platforms vs the offline optimum
+# ---------------------------------------------------------------------------
+
+#: Suite shape: one chain, star and spider per heterogeneity profile, each
+#: run offline (the paper's optimum) and online under every policy, all
+#: through the batch engine with replay validation on — so the committed
+#: numbers certify the whole unified execution layer, not just the sim.
+ONLINE_SUITE_N = 24
+ONLINE_SUITE_PROFILES = ("balanced", "comm_bound", "cpu_bound", "volunteer")
+ONLINE_SUITE_POLICIES = ("bandwidth_centric", "demand_driven", "round_robin")
+
+
+def online_suite() -> list[tuple[str, object]]:
+    """``(name, platform)`` rows, deterministic by construction."""
+    from repro.platforms.generators import random_spider
+
+    suite: list[tuple[str, object]] = []
+    for i, profile in enumerate(ONLINE_SUITE_PROFILES):
+        suite.append(
+            (f"chain-{profile}", random_chain(5, profile=profile, seed=700 + i))
+        )
+        suite.append(
+            (f"star-{profile}", random_star(6, profile=profile, seed=720 + i))
+        )
+        suite.append(
+            (f"spider-{profile}", random_spider(3, 3, profile=profile, seed=740 + i))
+        )
+    return suite
+
+
+def online_suite_results() -> list[dict]:
+    """Per-platform detail: offline optimum vs each policy's achieved
+    makespan and the regret ratio, answered through the batch engine
+    (``kind:"online"`` scenarios, ``validate=True``) so the suite also
+    exercises the registry dispatch and the replay validator."""
+    scenarios = []
+    for name, platform in online_suite():
+        pdict = platform_to_dict(platform)
+        scenarios.append(Scenario(f"{name}-offline", pdict, "makespan",
+                                  n=ONLINE_SUITE_N))
+        for policy in ONLINE_SUITE_POLICIES:
+            scenarios.append(Scenario(
+                f"{name}-{policy}", pdict, "online", n=ONLINE_SUITE_N,
+                options={"policy": policy},
+            ))
+    by_id = {
+        r.scenario_id: r
+        for r in BatchRunner(workers=1, validate=True).run(scenarios)
+    }
+    rows = []
+    for name, _platform in online_suite():
+        offline = by_id[f"{name}-offline"]
+        assert offline.ok and offline.validated, offline.error
+        row: dict = {
+            "platform": name,
+            "n": ONLINE_SUITE_N,
+            "offline_makespan": offline.makespan,
+        }
+        for policy in ONLINE_SUITE_POLICIES:
+            online = by_id[f"{name}-{policy}"]
+            assert online.ok and online.validated, online.error
+            assert online.makespan >= offline.makespan, (
+                f"{name}: policy {policy} beat the offline optimum "
+                f"({online.makespan} < {offline.makespan})"
+            )
+            row[policy] = online.makespan
+            row[f"{policy}_ratio"] = round(
+                float(online.makespan) / float(offline.makespan), 4
+            )
+        rows.append(row)
+    return rows
+
+
+#: per-platform rows of the kernel's most recent run — reused by the
+#: baseline writer so BENCH_online.json's ``suite`` detail comes from the
+#: same run as the aggregate counters.
+LAST_ONLINE_SUITE_ROWS: list[dict] = []
+
+
+def kernel_online_regret_suite() -> dict:
+    """The whole online suite through the batch engine, aggregated."""
+
+    def once() -> dict:
+        t0 = time.perf_counter()
+        rows = online_suite_results()
+        seconds = time.perf_counter() - t0
+        LAST_ONLINE_SUITE_ROWS[:] = rows
+        out: dict = {
+            "seconds": seconds,
+            "platforms": len(rows),
+            "runs": len(rows) * len(ONLINE_SUITE_POLICIES),
+            "offline_total": sum(r["offline_makespan"] for r in rows),
+        }
+        for policy in ONLINE_SUITE_POLICIES:
+            out[f"{policy}_total"] = sum(r[policy] for r in rows)
+            out[f"{policy}_mean_ratio"] = round(
+                sum(r[f"{policy}_ratio"] for r in rows) / len(rows), 4
+            )
+        return out
+
+    return _best_of(once, 2)
+
+
+#: online kernels live in their own baseline file (``BENCH_online.json``).
+ONLINE_KERNELS: dict[str, Callable[[], dict]] = {
+    "online_regret_suite": kernel_online_regret_suite,
+}

@@ -40,6 +40,7 @@ from .bounds import (
     steady_state_bound,
 )
 from .profiles import StaircaseProfile, makespan_profile, verify_staircase_duality
+from .regret import DEFAULT_POLICIES, Regret, regret, regret_table
 from .report import ExperimentReport, build_report
 
 __all__ = [
@@ -75,6 +76,10 @@ __all__ = [
     "StaircaseProfile",
     "makespan_profile",
     "verify_staircase_duality",
+    "DEFAULT_POLICIES",
+    "Regret",
+    "regret",
+    "regret_table",
     "ExperimentReport",
     "build_report",
 ]

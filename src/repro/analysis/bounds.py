@@ -41,10 +41,7 @@ def port_bound(platform: Any, n: int) -> Time:
     procs = adapter.processors()
     first_links = {adapter.route(pr)[0] for pr in procs}
     min_first = min(adapter.latency(l) for l in first_links)
-    min_tail = min(
-        sum(adapter.latency(l) for l in adapter.route(pr)) + adapter.work(pr)
-        for pr in procs
-    )
+    min_tail = min(adapter.route_cost(pr) + adapter.work(pr) for pr in procs)
     return (n - 1) * min_first + min_tail
 
 
@@ -54,17 +51,14 @@ def processor_bound(platform: Any, n: int) -> Time:
     adapter = adapter_for(platform)
     procs = adapter.processors()
     k = ceil(n / len(procs))
-    return min(
-        sum(adapter.latency(l) for l in adapter.route(pr)) + k * adapter.work(pr)
-        for pr in procs
-    )
+    return min(adapter.route_cost(pr) + k * adapter.work(pr) for pr in procs)
 
 
 def route_bound(platform: Any) -> Time:
     """One task needs at least the cheapest route plus its work."""
     adapter = adapter_for(platform)
     return min(
-        sum(adapter.latency(l) for l in adapter.route(pr)) + adapter.work(pr)
+        adapter.route_cost(pr) + adapter.work(pr)
         for pr in adapter.processors()
     )
 

@@ -1,0 +1,126 @@
+"""Online-vs-offline regret: what the paper's optimality actually buys.
+
+Dutot's result is an *offline* guarantee — the scheduler sees the whole
+future.  The applications motivating it (SETI@home-style volunteer
+computing) run *online*: workers ask for tasks and the master serves
+requests with no lookahead.  Regret quantifies the gap for one platform
+and task count::
+
+    r = regret(platform, n, policy="demand_driven")
+    r.offline_makespan   # the paper's optimum (registry-dispatched)
+    r.online_makespan    # what the policy actually achieved
+    r.ratio              # online / offline  (>= 1 by optimality)
+
+Both answers dispatch through :func:`repro.solve.solve` — the offline one
+at ``mode="offline"``, the online one at ``mode="online"`` — so this module
+contains no platform or policy branching of its own.  ``failures`` specs
+inject fail-stop workers into the online run, measuring what the static
+model's no-failure idealisation hides on top of the no-lookahead gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from ..core.types import Time
+
+#: the policies a default regret sweep compares (sorted for determinism).
+DEFAULT_POLICIES = ("bandwidth_centric", "demand_driven", "round_robin")
+
+
+@dataclass(frozen=True)
+class Regret:
+    """One online-vs-offline comparison on one platform."""
+
+    policy: str
+    n: int
+    offline_makespan: Time
+    online_makespan: Time
+    #: failure specs injected into the online run (empty = failure-free).
+    failures: int = 0
+
+    @property
+    def ratio(self) -> float:
+        """``online / offline`` — 1.0 means the policy matched the optimum."""
+        return float(self.online_makespan) / float(self.offline_makespan)
+
+    @property
+    def absolute(self) -> Time:
+        """``online − offline`` in time units."""
+        return self.online_makespan - self.offline_makespan
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "policy": self.policy,
+            "n": self.n,
+            "offline_makespan": self.offline_makespan,
+            "online_makespan": self.online_makespan,
+            "ratio": round(self.ratio, 4),
+            "failures": self.failures,
+        }
+
+
+def regret(
+    platform: Any,
+    n: int,
+    policy: Any = "demand_driven",
+    *,
+    failures: Optional[Sequence[Any]] = None,
+    validate: bool = False,
+) -> Regret:
+    """Compare ``policy``'s achieved makespan against the offline optimum.
+
+    ``validate=True`` replay-validates both answers through the simulator
+    before reporting — the paranoid mode benchmarks run in.
+    """
+    from ..solve import Problem, solve  # lazy: analysis is imported by solve's deps
+
+    offline = solve(Problem(platform, "makespan", n=n))
+    options: dict[str, Any] = {"policy": policy}
+    if failures:
+        options["failures"] = list(failures)
+    online = solve(Problem(platform, "makespan", n=n, mode="online",
+                           options=options))
+    if validate:
+        offline.validate()
+        online.validate()
+    return Regret(
+        policy=online.extra["policy"],
+        n=n,
+        offline_makespan=offline.makespan,
+        online_makespan=online.makespan,
+        failures=len(options.get("failures", ())),
+    )
+
+
+def regret_table(
+    platform: Any,
+    n: int,
+    policies: Sequence[Any] = DEFAULT_POLICIES,
+    *,
+    validate: bool = False,
+) -> list[Regret]:
+    """One :class:`Regret` row per policy (offline optimum solved once).
+
+    The offline solve is shared across rows, so a ``p``-policy table costs
+    one optimal solve plus ``p`` simulations.
+    """
+    from ..solve import Problem, solve
+
+    offline = solve(Problem(platform, "makespan", n=n))
+    if validate:
+        offline.validate()
+    rows = []
+    for policy in policies:
+        online = solve(Problem(platform, "makespan", n=n, mode="online",
+                               options={"policy": policy}))
+        if validate:
+            online.validate()
+        rows.append(Regret(
+            policy=online.extra["policy"],
+            n=n,
+            offline_makespan=offline.makespan,
+            online_makespan=online.makespan,
+        ))
+    return rows

@@ -7,10 +7,16 @@ through :class:`BatchRunner`, which
 
 * groups scenarios by platform so each worker parses a platform once and
   reuses warm state (monotone per-leg caps) across a sorted deadline sweep,
+* dispatches every scenario through the solver registry — offline kinds to
+  the platform's solver, ``kind:"online"`` to the registered online solver
+  (policies and fault specs ride in ``Scenario.options``),
+* optionally replay-validates every answer through the discrete-event
+  simulator (``validate=True`` / ``repro batch --validate``),
 * fans the groups over ``concurrent.futures`` workers (or runs them inline
   for ``workers <= 1``), and
 * returns structured :class:`ScenarioResult` rows that serialise to JSON —
-  the same rows the benchmark harness records in ``BENCH_spider.json``.
+  the same rows the benchmark harness records in ``BENCH_spider.json``,
+  ``BENCH_tree.json`` and ``BENCH_online.json``.
 """
 
 from .scenarios import (

@@ -5,17 +5,26 @@ Execution model
 
 Scenarios are grouped by platform (``Scenario.platform_key``).  One group is
 the unit of dispatch: a worker parses the platform once, resolves the
-registered solver through :func:`repro.solve.solver_for` (the *only*
-platform dispatch in the engine), and answers every scenario of the group.
+registered solver per dispatch *mode* through
+:func:`repro.solve.solver_for` (the *only* platform dispatch in the
+engine — offline kinds resolve the platform's solver, ``kind:"online"``
+scenarios the online solver), and answers every scenario of the group.
 For *deadline* scenarios on solvers with ``supports_warm_caps`` the group
 runs in descending-``t_lim`` order so each run's warm caps prime the next
 (smaller) deadline, exactly like the bisection probes inside
 :func:`repro.core.spider.spider_schedule`.
 
+With ``validate=True`` every successful answer is additionally
+replay-validated: the solution is re-executed through the discrete-event
+simulator (:meth:`repro.solve.Solution.validate`), which independently
+enforces port serialisation, relay-FIFO forwarding and CPU cadence and
+compares the makespan bit-exactly.  A solution that fails replay fails its
+scenario.
+
 ``workers <= 1`` (the default) runs everything inline — deterministic,
 fork-free, and what the unit tests exercise.  ``workers > 1`` fans groups
 over ``concurrent.futures`` (processes by default for CPU-bound Python,
-threads on request).
+threads on request — surfaced on the CLI as ``repro batch --executor``).
 """
 
 from __future__ import annotations
@@ -23,16 +32,27 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
+from functools import partial
 from typing import Iterable, Optional, Sequence
 
 from ..io.json_io import platform_from_dict
-from ..solve import Problem, solver_for
+from ..solve import Problem, Solver, solver_for
 from .scenarios import BatchError, Scenario, ScenarioResult
 
 _IndexedScenario = tuple[int, Scenario]
 _IndexedResult = tuple[int, ScenarioResult]
 
 _NO_CAPS = object()
+
+#: ``repro batch --executor`` vocabulary → ``BatchRunner.mode`` values.
+#: Processes sidestep the GIL for CPU-bound solves; threads avoid fork
+#: overhead when scenarios are tiny or the platform parses expensively.
+EXECUTOR_MODES = {"processes": "process", "threads": "thread"}
+
+
+def _dispatch_mode(scenario: Scenario) -> str:
+    """The registry mode a scenario dispatches through."""
+    return "online" if scenario.kind == "online" else "offline"
 
 
 def _caps_cover(caps_budget: object, n: Optional[int]) -> bool:
@@ -45,7 +65,9 @@ def _caps_cover(caps_budget: object, n: Optional[int]) -> bool:
     return n is not None and n <= caps_budget  # type: ignore[operator]
 
 
-def run_group(group: Sequence[_IndexedScenario]) -> list[_IndexedResult]:
+def run_group(
+    group: Sequence[_IndexedScenario], validate: bool = False
+) -> list[_IndexedResult]:
     """Solve one platform group (module-level so process pools can pickle).
 
     Deadline scenarios on warm-cap-capable solvers run in descending
@@ -56,7 +78,6 @@ def run_group(group: Sequence[_IndexedScenario]) -> list[_IndexedResult]:
         return []
     try:
         platform = platform_from_dict(group[0][1].platform)
-        solver = solver_for(platform)
     except Exception as exc:  # noqa: BLE001 - bad platform fails its group only
         return [
             (index, ScenarioResult(
@@ -65,10 +86,22 @@ def run_group(group: Sequence[_IndexedScenario]) -> list[_IndexedResult]:
             for index, sc in group
         ]
 
+    solvers: dict[str, Solver] = {}
+
+    def solver_of(mode: str) -> Solver:
+        if mode not in solvers:
+            solvers[mode] = solver_for(platform, mode)
+        return solvers[mode]
+
+    try:
+        warm_capable = solver_of("offline").supports_warm_caps
+    except Exception:  # noqa: BLE001 - unclaimed offline type: per-scenario errors
+        warm_capable = False
+
     ordered: list[_IndexedScenario] = list(group)
-    if solver.supports_warm_caps:
-        # warm sweep: big deadlines first (makespan scenarios sort last,
-        # they warm themselves internally via the bisection)
+    if warm_capable:
+        # warm sweep: big deadlines first (makespan/online scenarios sort
+        # last, they warm themselves internally via the bisection)
         ordered.sort(
             key=lambda item: (
                 item[1].kind != "deadline",
@@ -82,22 +115,28 @@ def run_group(group: Sequence[_IndexedScenario]) -> list[_IndexedResult]:
     for index, sc in ordered:
         t0 = time.perf_counter()
         try:
+            solver = solver_of(_dispatch_mode(sc))
             warm = (
                 caps
-                if solver.supports_warm_caps and _caps_cover(caps_budget, sc.n)
+                if solver.supports_warm_caps
+                and sc.kind == "deadline"
+                and _caps_cover(caps_budget, sc.n)
                 else None
             )
             problem = Problem(
                 platform,
-                sc.kind,
+                "makespan" if sc.kind == "online" else sc.kind,
                 n=sc.n,
                 t_lim=sc.t_lim,
                 allocator=sc.allocator,
+                mode=_dispatch_mode(sc),
                 options=sc.options,
                 warm_caps=warm,
             )
             solver.check_claims(problem)
             solution = solver.solve(problem)
+            if validate:
+                solution.validate()
             result = ScenarioResult(
                 sc.id, True, sc.kind,
                 makespan=solution.makespan,
@@ -109,6 +148,8 @@ def run_group(group: Sequence[_IndexedScenario]) -> list[_IndexedResult]:
                     if "rounds" in solution.extra else None
                 ),
                 coverage=solution.extra.get("coverage"),
+                policy=solution.extra.get("policy"),
+                validated=True if validate else None,
             )
             if sc.kind == "deadline" and solution.warm_caps is not None:
                 caps, caps_budget = dict(solution.warm_caps), sc.n
@@ -152,10 +193,13 @@ class BatchRunner:
     at chunk boundaries).
     ``mode``: ``"auto"`` (processes when workers > 1), ``"process"``,
     ``"thread"`` or ``"serial"``.
+    ``validate``: replay-validate every successful answer through the
+    simulator (a failed replay fails its scenario).
     """
 
     workers: int = 1
     mode: str = "auto"
+    validate: bool = False
 
     def run(self, scenarios: Iterable[Scenario]) -> list[ScenarioResult]:
         indexed = list(enumerate(scenarios))
@@ -164,6 +208,7 @@ class BatchRunner:
             groups.setdefault(sc.platform_key, []).append((index, sc))
         group_list = list(groups.values())
 
+        solve_group = partial(run_group, validate=self.validate)
         mode = self.mode
         if mode not in ("auto", "serial", "thread", "process"):
             raise BatchError(f"unknown batch mode {self.mode!r}")
@@ -172,14 +217,14 @@ class BatchRunner:
         if mode != "serial" and self.workers > 1:
             group_list = _split_for_workers(group_list, self.workers)
         if mode == "serial" or self.workers <= 1 or len(group_list) <= 1:
-            batches = [run_group(g) for g in group_list]
+            batches = [solve_group(g) for g in group_list]
         else:
             executor_cls = {
                 "process": ProcessPoolExecutor,
                 "thread": ThreadPoolExecutor,
             }[mode]
             with executor_cls(max_workers=self.workers) as pool:
-                batches = list(pool.map(run_group, group_list))
+                batches = list(pool.map(solve_group, group_list))
 
         results: list[Optional[ScenarioResult]] = [None] * len(indexed)
         for batch in batches:
@@ -190,7 +235,11 @@ class BatchRunner:
 
 
 def run_batch(
-    scenarios: Iterable[Scenario], *, workers: int = 1, mode: str = "auto"
+    scenarios: Iterable[Scenario],
+    *,
+    workers: int = 1,
+    mode: str = "auto",
+    validate: bool = False,
 ) -> list[ScenarioResult]:
-    """Convenience wrapper: ``BatchRunner(workers, mode).run(scenarios)``."""
-    return BatchRunner(workers=workers, mode=mode).run(scenarios)
+    """Convenience wrapper: ``BatchRunner(workers, mode, validate).run(...)``."""
+    return BatchRunner(workers=workers, mode=mode, validate=validate).run(scenarios)

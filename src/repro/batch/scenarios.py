@@ -1,11 +1,13 @@
 """Scenario and result records for the batch engine (JSON in, JSON out).
 
 A *scenario* is one solve request: a platform (as its versioned JSON dict),
-either a task count ``n`` (makespan question) or a deadline ``t_lim``
-(max-tasks question, optionally still budgeted by ``n``), and the allocator
-to use.  A *result* is the flat, JSON-able answer plus operation counters —
-deliberately *not* the full schedule, so a million-scenario batch stays
-cheap to collect and archive.
+either a task count ``n`` (makespan question), a deadline ``t_lim``
+(max-tasks question, optionally still budgeted by ``n``), or an *online*
+run (``kind: "online"``: ``n`` tasks through a simulated policy; policy
+name, fault specs and event budget ride in ``options``) — plus the
+allocator to use.  A *result* is the flat, JSON-able answer plus operation
+counters — deliberately *not* the full schedule, so a million-scenario
+batch stays cheap to collect and archive.
 """
 
 from __future__ import annotations
@@ -21,7 +23,9 @@ from ..io.json_io import PLATFORM_KINDS
 
 SCENARIO_SCHEMA = 1
 
-_KINDS = ("makespan", "deadline")
+#: ``"online"`` answers through the registered online solver (policies /
+#: fault injection via ``options``); the other two through offline solvers.
+_KINDS = ("makespan", "deadline", "online")
 
 
 class BatchError(ReproError):
@@ -50,10 +54,15 @@ class Scenario:
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
             raise BatchError(f"scenario {self.id!r}: unknown kind {self.kind!r}")
-        if self.kind == "makespan" and (self.n is None or self.n < 1):
-            raise BatchError(f"scenario {self.id!r}: makespan needs n >= 1")
+        if self.kind in ("makespan", "online") and (self.n is None or self.n < 1):
+            raise BatchError(f"scenario {self.id!r}: {self.kind} needs n >= 1")
         if self.kind == "deadline" and self.t_lim is None:
             raise BatchError(f"scenario {self.id!r}: deadline needs t_lim")
+        if self.kind == "online" and self.t_lim is not None:
+            raise BatchError(
+                f"scenario {self.id!r}: online runs take no t_lim — policies "
+                "have no deadline notion; they run all n tasks to completion"
+            )
         if not isinstance(self.platform, Mapping):
             raise BatchError(
                 f"scenario {self.id!r}: platform must be a JSON dict, "
@@ -119,6 +128,11 @@ class ScenarioResult:
     rounds: Optional[int] = None
     #: ... and the fraction of the tree's workers that executed a task.
     coverage: Optional[float] = None
+    #: online scenarios: the policy that produced the answer.
+    policy: Optional[str] = None
+    #: True when the runner replay-validated this answer through the
+    #: simulator (``run_batch(validate=True)``); None when not requested.
+    validated: Optional[bool] = None
 
     def to_dict(self) -> dict[str, Any]:
         d: dict[str, Any] = {
@@ -127,7 +141,8 @@ class ScenarioResult:
             "kind": self.kind,
             "wall_s": self.wall_s,
         }
-        for key in ("makespan", "n_tasks", "t_lim", "error", "rounds", "coverage"):
+        for key in ("makespan", "n_tasks", "t_lim", "error", "rounds",
+                    "coverage", "policy", "validated"):
             value = getattr(self, key)
             if value is not None:
                 d[key] = value
@@ -149,6 +164,8 @@ class ScenarioResult:
             stats=d.get("stats", {}),
             rounds=d.get("rounds"),
             coverage=d.get("coverage"),
+            policy=d.get("policy"),
+            validated=d.get("validated"),
         )
 
 

@@ -14,7 +14,8 @@ Commands
 ``compare``
     Heuristics vs the optimal algorithm on a platform.
 ``simulate``
-    Online policies through the discrete-event simulator.
+    Online policies through the discrete-event simulator (dispatched
+    through the registered online solver).
 ``steady``
     Bandwidth-centric steady-state throughput of a platform.
 ``tree``
@@ -28,8 +29,9 @@ Commands
 ``batch``
     Run a JSON scenario batch through the solver registry.
 
-Scheduling commands all answer through :func:`repro.solve.solve` — the
-platform-type dispatch lives in the solver registry, not here.
+Every command that answers a scheduling question — offline *and* online —
+does so through :func:`repro.solve.solve`; the platform-type and mode
+dispatch lives in the solver registry, not here.
 
 All commands accept ``--gantt`` (ASCII chart), ``--svg PATH`` and
 ``--json PATH`` outputs, and ``--platform FILE`` to load a JSON platform
@@ -51,7 +53,7 @@ from .platforms.chain import Chain
 from .platforms.presets import paper_fig2_chain
 from .platforms.spider import Spider
 from .platforms.star import Star
-from .sim.online import ONLINE_POLICIES, simulate_online
+from .sim.online import ONLINE_POLICIES
 from .solve import Problem, registered_solvers, solve
 from .trees.multiround import COVER_STRATEGIES
 from .viz.gantt import render_gantt
@@ -109,7 +111,7 @@ def _platform_from_args(args) -> Any:
 def _solver_lines() -> str:
     """The registered-solver list, one line per solver (drives batch help)."""
     return "\n".join(
-        f"  {s.name:<8}{s.summary}" for s in registered_solvers()
+        f"  {s.name:<8}[{s.mode}] {s.summary}" for s in registered_solvers()
     )
 
 
@@ -224,12 +226,28 @@ def build_parser() -> argparse.ArgumentParser:
             + _solver_lines()
         ),
     )
+    from .batch.runner import EXECUTOR_MODES
+
     p.add_argument("--scenarios", required=True, metavar="FILE",
                    help="JSON file: {\"scenarios\": [{id, platform, kind, n|t_lim}, ...]}")
     p.add_argument("--workers", type=int, default=1,
                    help="worker count (1 = inline serial)")
+    p.add_argument(
+        "--executor",
+        choices=sorted(EXECUTOR_MODES),
+        default=None,
+        help="pool flavour when --workers > 1: "
+        + "; ".join(
+            f"'{name}' = concurrent.futures {mode} pool"
+            for name, mode in sorted(EXECUTOR_MODES.items())
+        )
+        + " (default: processes)",
+    )
     p.add_argument("--mode", default="auto",
-                   choices=["auto", "serial", "thread", "process"])
+                   choices=["auto", "serial", "thread", "process"],
+                   help="low-level engine mode (--executor is the friendly face)")
+    p.add_argument("--validate", action="store_true",
+                   help="replay-validate every answer through the simulator")
     p.add_argument("--out", metavar="PATH", help="write results JSON")
 
     p = sub.add_parser("report", help="regenerate the headline results as markdown")
@@ -282,11 +300,12 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "simulate":
         platform = _platform_from_args(args)
-        result = simulate_online(platform, args.n, args.policy)
-        assert_feasible(result.schedule)
-        print(f"policy: {result.policy}")
-        print(f"makespan: {result.makespan}   tasks: {result.trace.tasks_completed()}")
-        for key, util in sorted(result.trace.summary()["resources"].items()):
+        sol = solve(Problem(platform, "makespan", n=args.n, mode="online",
+                            options={"policy": args.policy}))
+        assert_feasible(sol.schedule)
+        print(f"policy: {sol.extra['policy']}")
+        print(f"makespan: {sol.makespan}   tasks: {sol.n_tasks}")
+        for key, util in sorted(sol.trace.summary()["resources"].items()):
             print(f"  {key}: {util:.1%}")
         return 0
 
@@ -349,24 +368,31 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "failures":
-        from .sim.faults import WorkerFailure, assert_trace_exclusive, simulate_with_failures
-
         platform = _platform_from_args(args)
         failures = []
         for spec in args.kill:
             time_part, proc_part = spec.split("@", 1)
             proc = (
-                tuple(int(x) for x in proc_part.split(","))
+                [int(x) for x in proc_part.split(",")]
                 if "," in proc_part
                 else int(proc_part)
             )
-            failures.append(WorkerFailure(int(time_part), proc))
-        result = simulate_with_failures(platform, args.n, failures, args.policy)
-        assert_trace_exclusive(result.trace)
-        print(f"policy: {args.policy}   failures: {len(failures)}")
-        print(f"makespan: {result.makespan}   completed: {result.completed}")
-        print(f"dispatches: {result.attempts}   reissues: {result.reissues}")
-        print(f"survivors: {result.survivors}")
+            failures.append({"time": int(time_part), "processor": proc})
+        sol = solve(Problem(platform, "makespan", n=args.n, mode="online",
+                            options={"policy": args.policy,
+                                     "failures": failures}))
+        sol.validate()  # trace-only answers: re-check resource exclusivity
+        if failures:
+            print(f"policy: {sol.extra['policy']}   failures: {len(failures)}")
+            print(f"makespan: {sol.makespan}   completed: {sol.stats['completed']}")
+            print(f"dispatches: {sol.stats['attempts']}   "
+                  f"reissues: {sol.stats['reissues']}")
+            print(f"survivors: {sol.extra['survivors']}")
+        else:
+            print(f"policy: {sol.extra['policy']}   failures: 0")
+            print(f"makespan: {sol.makespan}   completed: {sol.n_tasks}")
+            print(f"dispatches: {sol.n_tasks}   reissues: 0")
+            print(f"survivors: {sol.schedule.adapter.processors()}")
         return 0
 
     if args.command == "fig7":
@@ -383,9 +409,18 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "batch":
         from .batch import load_scenarios, run_batch, save_results
+        from .batch.runner import EXECUTOR_MODES
 
         scenarios = load_scenarios(args.scenarios)
-        results = run_batch(scenarios, workers=args.workers, mode=args.mode)
+        if args.executor and args.mode != "auto":
+            raise SystemExit(
+                "--executor and --mode both given: pick one "
+                f"(--executor {args.executor} means --mode "
+                f"{EXECUTOR_MODES[args.executor]})"
+            )
+        mode = EXECUTOR_MODES[args.executor] if args.executor else args.mode
+        results = run_batch(scenarios, workers=args.workers, mode=mode,
+                            validate=args.validate)
         rows = [
             (
                 r.scenario_id,
@@ -394,16 +429,20 @@ def main(argv: Sequence[str] | None = None) -> int:
                 "" if r.makespan is None else r.makespan,
                 "" if r.n_tasks is None else r.n_tasks,
                 "" if r.rounds is None else r.rounds,
+                "" if r.policy is None else r.policy,
                 f"{r.wall_s:.4f}",
             )
             for r in results
         ]
         print(format_table(
-            ["scenario", "kind", "status", "makespan", "tasks", "rounds", "seconds"],
+            ["scenario", "kind", "status", "makespan", "tasks", "rounds",
+             "policy", "seconds"],
             rows,
         ))
         failed = [r for r in results if not r.ok]
-        print(f"{len(results) - len(failed)}/{len(results)} scenarios ok")
+        checked = sum(1 for r in results if r.validated)
+        print(f"{len(results) - len(failed)}/{len(results)} scenarios ok"
+              + (f"   ({checked} replay-validated)" if args.validate else ""))
         if args.out:
             print(f"wrote {save_results(results, args.out)}")
         return 0 if not failed else 1

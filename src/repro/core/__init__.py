@@ -21,6 +21,7 @@ from .chain import (
 from .chain_fast import schedule_chain_deadline_fast, schedule_chain_fast
 from .types import (
     EPS,
+    EventBudgetExceeded,
     InfeasibleScheduleError,
     PlatformError,
     ReproError,
@@ -50,6 +51,7 @@ __all__ = [
     "PlatformError",
     "ReproError",
     "ScheduleError",
+    "EventBudgetExceeded",
     "SimulationError",
     "Time",
 ]

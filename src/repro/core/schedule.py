@@ -76,6 +76,26 @@ class PlatformAdapter:
         """The node whose receive port the link occupies."""
         raise NotImplementedError
 
+    # -- derived helpers (shared by the simulator, policies and bounds) -----
+
+    def master_port(self) -> PortKey:
+        """The master's send port: the sender of any route's first hop.
+
+        Every route starts at the master, so the first processor's route is
+        as good as any — this is the single serialisation point the paper's
+        one-port model revolves around."""
+        return self.sender(self.route(self.processors()[0])[0])
+
+    def route_cost(self, proc: ProcKey) -> Time:
+        """Total latency of the master→``proc`` route (the pipeline fill)."""
+        return sum(self.latency(link) for link in self.route(proc))
+
+    def route_nodes(self, proc: ProcKey) -> list[PortKey]:
+        """The nodes a task traverses to reach ``proc`` (excluding the
+        master, including ``proc`` itself) — the fault model's notion of
+        "everything downstream dies with a node"."""
+        return [self.receiver(link) for link in self.route(proc)]
+
 
 class ChainAdapter(PlatformAdapter):
     """Chain: processors 1..p, link ``i`` enters processor ``i``."""

@@ -50,6 +50,20 @@ class SimulationError(ReproError):
     (e.g. two concurrent sends from one port)."""
 
 
+class EventBudgetExceeded(SimulationError):
+    """The simulator executed more events than its configured budget — the
+    run is almost certainly livelocked (handlers rescheduling each other
+    forever).  Carries the budget so callers can distinguish "raise the
+    bound" from "fix the loop"."""
+
+    def __init__(self, max_events: int):
+        self.max_events = max_events
+        super().__init__(
+            f"event budget exceeded ({max_events} events); livelocked "
+            f"handler loop, or raise max_events for a genuinely huge run"
+        )
+
+
 def is_close(a: Time, b: Time, eps: float = EPS) -> bool:
     """Exact equality for ints, ``eps``-tolerant equality otherwise."""
     if isinstance(a, int) and isinstance(b, int):

@@ -13,9 +13,14 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from ..core.types import SimulationError, Time
+from ..core.types import EventBudgetExceeded, SimulationError, Time
 
 Handler = Callable[["Simulator"], None]
+
+#: default per-run event budget; a livelocked handler loop hits this long
+#: before any real workload does.  Override per instance
+#: (``Simulator(max_events=...)``) or per run (``run(max_events=...)``).
+DEFAULT_MAX_EVENTS = 10_000_000
 
 
 @dataclass(order=True)
@@ -29,11 +34,14 @@ class _QueueEntry:
 class Simulator:
     """Run timestamped handlers in (time, priority, FIFO) order."""
 
-    def __init__(self) -> None:
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS) -> None:
+        if max_events < 1:
+            raise SimulationError(f"max_events must be >= 1, got {max_events}")
         self._queue: list[_QueueEntry] = []
         self._seq = itertools.count()
         self.now: Time = 0
         self._running = False
+        self.max_events = max_events
 
     def at(self, time: Time, handler: Handler, priority: int = 0) -> None:
         """Schedule ``handler`` at absolute ``time`` (>= now)."""
@@ -50,10 +58,17 @@ class Simulator:
             raise SimulationError(f"negative delay {delay}")
         self.at(self.now + delay, handler, priority)
 
-    def run(self, until: Optional[Time] = None, max_events: int = 10_000_000) -> Time:
-        """Drain the queue; returns the time of the last executed event."""
+    def run(
+        self, until: Optional[Time] = None, max_events: Optional[int] = None
+    ) -> Time:
+        """Drain the queue; returns the time of the last executed event.
+
+        ``max_events`` overrides the instance budget for this run; exceeding
+        either raises :class:`~repro.core.types.EventBudgetExceeded`.
+        """
         if self._running:
             raise SimulationError("simulator is not re-entrant")
+        budget = self.max_events if max_events is None else max_events
         self._running = True
         try:
             executed = 0
@@ -65,10 +80,8 @@ class Simulator:
                 self.now = entry.time
                 entry.handler(self)
                 executed += 1
-                if executed > max_events:
-                    raise SimulationError(
-                        f"event budget exceeded ({max_events}); livelock?"
-                    )
+                if executed > budget:
+                    raise EventBudgetExceeded(budget)
             return self.now
         finally:
             self._running = False

@@ -24,7 +24,7 @@ apply, since a reissued task legitimately appears twice).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Hashable
+from typing import Any, Hashable, Optional
 
 from ..core.schedule import ProcKey, adapter_for
 from ..core.types import EPS, SimulationError, Time
@@ -59,12 +59,11 @@ class FaultyRunResult:
 
 def _downstream(adapter: Any, procs: list[ProcKey], dead: ProcKey) -> set[ProcKey]:
     """Every processor whose route passes through ``dead`` (inclusive)."""
-    out = set()
-    for pr in procs:
-        route_nodes = [adapter.receiver(link) for link in adapter.route(pr)]
-        if dead in route_nodes or pr == dead:
-            out.add(pr)
-    return out
+    return {
+        pr
+        for pr in procs
+        if pr == dead or dead in adapter.route_nodes(pr)
+    }
 
 
 def simulate_with_failures(
@@ -72,6 +71,7 @@ def simulate_with_failures(
     n: int,
     failures: list[WorkerFailure],
     policy: Policy | str = "demand_driven",
+    max_events: Optional[int] = None,
 ) -> FaultyRunResult:
     """Run ``n`` tasks online while injecting ``failures``.
 
@@ -82,9 +82,9 @@ def simulate_with_failures(
     policy_fn: Policy = ONLINE_POLICIES[policy] if isinstance(policy, str) else policy
     adapter = adapter_for(platform)
     all_procs = adapter.processors()
-    master_port: Hashable = adapter.sender(adapter.route(all_procs[0])[0])
+    master_port: Hashable = adapter.master_port()
 
-    sim = Simulator()
+    sim = Simulator() if max_events is None else Simulator(max_events=max_events)
     trace = Trace()
     port_free: dict[Hashable, Time] = {}
     proc_busy: dict[ProcKey, Time] = {}
@@ -183,7 +183,7 @@ def simulate_with_failures(
         attempts["count"] += 1
         dispatched[dest] += 1
         route = adapter.route(dest)
-        eta = s.now + sum(adapter.latency(l) for l in route)
+        eta = s.now + adapter.route_cost(dest)
         proc_eta[dest] = max(proc_eta.get(dest, 0), eta) + adapter.work(dest)
         deliver(task, route[0], list(route[1:]), dest)
         s.at(port_free[master_port], master_dispatch)

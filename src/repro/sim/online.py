@@ -66,8 +66,7 @@ def policy_demand_driven(
 
     def key(pr: ProcKey) -> tuple:
         backlog = state.proc_free.get(pr, 0)
-        route_cost = sum(adapter.latency(l) for l in adapter.route(pr))
-        return (backlog, route_cost, str(pr))
+        return (backlog, adapter.route_cost(pr), str(pr))
 
     return min(procs, key=key)
 
@@ -86,11 +85,7 @@ def policy_bandwidth_centric(
     pool = candidates or procs
     return min(
         pool,
-        key=lambda pr: (
-            sum(adapter.latency(l) for l in adapter.route(pr)),
-            adapter.work(pr),
-            str(pr),
-        ),
+        key=lambda pr: (adapter.route_cost(pr), adapter.work(pr), str(pr)),
     )
 
 
@@ -117,6 +112,7 @@ def simulate_online(
     n: int,
     policy: Policy | str = "demand_driven",
     arrivals: Optional[list[Time]] = None,
+    max_events: Optional[int] = None,
 ) -> OnlineResult:
     """Run ``n`` tasks through the online master-slave protocol.
 
@@ -135,11 +131,9 @@ def simulate_online(
 
     adapter = adapter_for(platform)
     procs = adapter.processors()
-    #: the master's send port: the sender of any first hop (node 0 on
-    #: chains, the shared "master" port on stars/spiders/trees).
-    master_port: Hashable = adapter.sender(adapter.route(procs[0])[0])
+    master_port: Hashable = adapter.master_port()
 
-    sim = Simulator()
+    sim = Simulator() if max_events is None else Simulator(max_events=max_events)
     trace = Trace()
     port_free: dict[Hashable, Time] = {}
     #: actual executor occupancy (drives exec scheduling)
@@ -261,12 +255,12 @@ def simulate_online(
         dispatched[dest] += 1
         route = adapter.route(dest)
         # local-queue estimate used by policies (exact when relays are idle)
-        eta = s.now + sum(adapter.latency(l) for l in route)
+        eta = s.now + adapter.route_cost(dest)
         proc_eta[dest] = max(proc_eta.get(dest, 0), eta) + adapter.work(dest)
         send_now(task, route[0], list(route[1:]), dest)
         s.at(port_free[master_port], master_dispatch)
 
     sim.at(0, master_dispatch)
     sim.run()
-    schedule = trace_to_schedule(trace, platform)
+    schedule = trace_to_schedule(trace, platform, adapter=adapter)
     return OnlineResult(trace=trace, schedule=schedule, policy=policy_name)

@@ -66,14 +66,17 @@ class Trace:
         }
 
 
-def trace_to_schedule(trace: Trace, platform: Any) -> Schedule:
+def trace_to_schedule(trace: Trace, platform: Any, adapter: Any = None) -> Schedule:
     """Rebuild a formal Schedule from a trace (then feasibility-checkable).
 
     Requires the trace's SEND_START events to carry ``info['link']`` (the
     link key) and EXEC_START events to carry the processor key as their
     resource — which both the executor and the online simulator guarantee.
+    ``adapter`` lets a caller that already holds the platform's adapter
+    (the online simulator does) share it instead of rebuilding one.
     """
-    adapter = adapter_for(platform)
+    if adapter is None:
+        adapter = adapter_for(platform)
     emissions: dict[int, dict[Hashable, Time]] = {}
     starts: dict[int, tuple[Hashable, Time]] = {}
     for e in trace.events:

@@ -6,14 +6,26 @@
     sol = solve(Problem(platform, "makespan", n=24))
     sol.schedule, sol.makespan, sol.stats
 
-Platform dispatch happens through a registry keyed by platform type
-(:mod:`repro.solve.registry`); the built-in chain/star/spider/tree solvers
-(:mod:`repro.solve.solvers`) register themselves when this package is
-imported.  The CLI verbs, the batch engine, benchmarks and examples all
-consume this layer — none of them dispatch on platform types themselves.
+Platform dispatch happens through a registry keyed by ``(mode, platform
+type)`` (:mod:`repro.solve.registry`): ``mode="offline"`` resolves the
+paper's static algorithms per platform class, ``mode="online"`` the
+simulated-policy solver that claims every platform.  The built-in
+chain/star/spider/tree/online solvers (:mod:`repro.solve.solvers`)
+register themselves when this package is imported.  The CLI verbs, the
+batch engine, benchmarks and examples all consume this layer — none of
+them dispatch on platform types or modes themselves.  Any solution can be
+replay-validated through the simulator with ``sol.validate()``.
 """
 
-from .problem import KINDS, NoSolverError, Problem, Solution, SolveError
+from .problem import (
+    KINDS,
+    MODES,
+    NoSolverError,
+    Problem,
+    Solution,
+    SolveError,
+    ValidationError,
+)
 from .registry import (
     Solver,
     register,
@@ -25,6 +37,7 @@ from .registry import (
 from .solvers import (
     BUILTIN_SOLVERS,
     ChainSolver,
+    OnlineSolver,
     SpiderSolver,
     StarSolver,
     TreeSolver,
@@ -34,7 +47,9 @@ __all__ = [
     "BUILTIN_SOLVERS",
     "ChainSolver",
     "KINDS",
+    "MODES",
     "NoSolverError",
+    "OnlineSolver",
     "Problem",
     "Solution",
     "SolveError",
@@ -42,6 +57,7 @@ __all__ = [
     "SpiderSolver",
     "StarSolver",
     "TreeSolver",
+    "ValidationError",
     "register",
     "registered_solvers",
     "solve",

@@ -6,11 +6,25 @@ as many tasks as possible — at most ``n``, if given — by ``t_lim``"
 (``kind="deadline"``), plus engine options (allocator choice, per-solver
 tuning in ``options``, warm-start caps for solvers that support them).
 
+Orthogonal to the *kind* is the *mode*: ``"offline"`` problems are answered
+by the paper's static algorithms (the solver sees the whole future),
+``"online"`` problems by simulated policies that only observe the past —
+the SETI@home regime the paper's introduction motivates.  Both modes
+dispatch through the same registry; consumers never branch on it.
+
 A *solution* wraps the schedule with the answer headline (makespan, task
 count), the solver's operation counters, optional warm caps for the next
 smaller-deadline problem on the same platform, and solver-specific
 ``extra`` detail (e.g. the per-round story of the multi-round tree
-scheduler).
+scheduler).  Online solutions additionally carry the execution ``trace``
+they were produced from; fault-injected runs carry *only* the trace (a
+reissued task legitimately appears twice, which no Definition-1 schedule
+can express).
+
+Every solution can be **replay-validated**: :meth:`Solution.validate`
+re-executes it through the discrete-event simulator, which independently
+enforces port serialisation, relay-FIFO forwarding and CPU cadence, and
+checks the claimed makespan (and deadline, if any) bit-exactly.
 """
 
 from __future__ import annotations
@@ -20,9 +34,10 @@ from typing import Any, Mapping, Optional
 
 from ..core.fork import DEFAULT_ALLOCATOR
 from ..core.schedule import Schedule
-from ..core.types import ReproError, Time
+from ..core.types import ReproError, Time, leq
 
 KINDS = ("makespan", "deadline")
+MODES = ("offline", "online")
 
 
 class SolveError(ReproError):
@@ -31,6 +46,11 @@ class SolveError(ReproError):
 
 class NoSolverError(SolveError):
     """No registered solver claims the problem's platform type."""
+
+
+class ValidationError(SolveError):
+    """Replay validation found a solution that does not hold up under
+    execution (resource conflict, drifted makespan, missed deadline)."""
 
 
 @dataclass(frozen=True)
@@ -42,7 +62,11 @@ class Problem:
     n: Optional[int] = None
     t_lim: Optional[Time] = None
     allocator: str = DEFAULT_ALLOCATOR
-    #: solver-specific knobs, e.g. ``{"max_rounds": 4}`` for trees.
+    #: dispatch axis: ``"offline"`` (static optimal algorithms) or
+    #: ``"online"`` (simulated policies; see ``options["policy"]``).
+    mode: str = "offline"
+    #: solver-specific knobs, e.g. ``{"max_rounds": 4}`` for trees or
+    #: ``{"policy": "round_robin", "failures": [...]}`` online.
     options: Mapping[str, Any] = field(default_factory=dict)
     #: warm-start caps from a previous solve at a looser deadline; only
     #: meaningful for solvers with ``supports_warm_caps``.
@@ -51,6 +75,8 @@ class Problem:
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise SolveError(f"unknown problem kind {self.kind!r}; expected {KINDS}")
+        if self.mode not in MODES:
+            raise SolveError(f"unknown problem mode {self.mode!r}; expected {MODES}")
         if self.kind == "makespan" and (self.n is None or self.n < 1):
             raise SolveError("makespan problems need n >= 1")
         if self.kind == "deadline" and self.t_lim is None:
@@ -62,18 +88,88 @@ class Solution:
     """A solver's answer: the schedule plus everything around it."""
 
     problem: Problem
-    schedule: Schedule
+    #: the static schedule; ``None`` only for trace-only answers (online
+    #: runs with failures, where reissued task ids defeat Definition 1).
+    schedule: Optional[Schedule]
     solver: str
     stats: dict[str, Any] = field(default_factory=dict)
     #: caps reusable by the same solver at a smaller deadline (same platform).
     warm_caps: Optional[dict[int, int]] = None
     #: solver-specific detail, e.g. {"rounds": [...], "coverage": 0.8}.
     extra: dict[str, Any] = field(default_factory=dict)
+    #: the execution trace this answer was *produced* from (online mode);
+    #: offline solutions gain one lazily through :meth:`replay`.
+    trace: Optional[Any] = None
 
     @property
     def makespan(self) -> Time:
-        return self.schedule.makespan
+        if self.schedule is not None:
+            return self.schedule.makespan
+        if self.trace is not None:
+            return self.trace.makespan
+        raise SolveError("solution carries neither schedule nor trace")
 
     @property
     def n_tasks(self) -> int:
-        return self.schedule.n_tasks
+        if self.schedule is not None:
+            return self.schedule.n_tasks
+        if self.trace is not None:
+            return self.trace.tasks_completed()
+        raise SolveError("solution carries neither schedule nor trace")
+
+    # -- replay validation --------------------------------------------------
+
+    def replay(self) -> Any:
+        """Execute the schedule event-by-event on the simulated platform.
+
+        Returns the fresh :class:`~repro.sim.trace.Trace`.  The executor
+        enforces the model's exclusivity rules at runtime (one send per
+        port, one message per link, one task per CPU, relay only after
+        arrival) and raises on any violation."""
+        from ..sim.executor import execute  # local import: sim is a consumer-side layer
+
+        if self.schedule is None:
+            raise SolveError(
+                f"solution from solver {self.solver!r} is trace-only "
+                "(fault-injected run); there is no schedule to replay"
+            )
+        return execute(self.schedule)
+
+    def validate(self) -> Any:
+        """Machine-check this solution by replaying it; returns the trace.
+
+        * schedule-backed solutions (every offline solver, online runs
+          without failures) are re-executed through the discrete-event
+          executor and their makespan / per-task completions are compared
+          bit-exactly against the schedule's static claims;
+        * trace-only solutions (fault-injected runs) have their trace
+          re-checked against the model's exclusivity rules;
+        * deadline problems additionally assert ``makespan <= t_lim``.
+
+        Raises :class:`ValidationError` on any mismatch.
+        """
+        from ..core.types import SimulationError
+        from ..sim.executor import verify_by_execution
+        from ..sim.faults import assert_trace_exclusive
+
+        try:
+            if self.schedule is not None:
+                trace = verify_by_execution(self.schedule)
+            else:
+                if self.trace is None:
+                    raise SolveError(
+                        "solution carries neither schedule nor trace"
+                    )
+                assert_trace_exclusive(self.trace)
+                trace = self.trace
+        except SimulationError as exc:
+            raise ValidationError(
+                f"solver {self.solver!r} produced an invalid solution: {exc}"
+            ) from exc
+        if self.problem.kind == "deadline" and self.problem.t_lim is not None:
+            if not leq(self.makespan, self.problem.t_lim):
+                raise ValidationError(
+                    f"solver {self.solver!r} missed the deadline: makespan "
+                    f"{self.makespan} > t_lim {self.problem.t_lim}"
+                )
+        return trace

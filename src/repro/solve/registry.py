@@ -1,21 +1,27 @@
-"""The solver registry: platform type → solver, and ``solve()`` on top.
+"""The solver registry: (mode, platform type) → solver, and ``solve()`` on top.
 
 Every layer that answers scheduling questions — the CLI verbs, the batch
 engine, benchmarks, examples — goes through :func:`solve`, so supporting a
 new platform means registering one solver here, not growing ``if/elif``
 ladders in each consumer.
 
-A solver claims exactly one platform class (subclasses resolve through the
-MRO), declares which question kinds it answers, and says whether it can
-reuse warm-start caps across a descending deadline sweep
+A solver claims one platform class (subclasses resolve through the MRO)
+*in one mode*: ``"offline"`` solvers answer with static schedules computed
+from full knowledge (the paper's algorithms), ``"online"`` solvers answer
+by simulating policies that only see the past.  The two axes are
+orthogonal — the online solver claims ``object``, so every platform with
+an adapter gets online answers without per-platform registrations.
+
+Beyond the claim a solver declares which question kinds it answers and
+whether it can reuse warm-start caps across a descending deadline sweep
 (``supports_warm_caps`` — the batch runner keys its cap hand-off on it).
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Optional
 
-from .problem import NoSolverError, Problem, Solution, SolveError
+from .problem import MODES, NoSolverError, Problem, Solution, SolveError
 
 __all__ = [
     "Solver",
@@ -31,19 +37,23 @@ class Solver:
     """Base class for registered solvers.
 
     Class attributes define the claim; :meth:`solve` answers a problem
-    whose ``platform`` is an instance of ``platform_type``.
+    whose ``platform`` is an instance of ``platform_type`` and whose
+    ``mode`` matches ``mode``.
     """
 
     #: short name shown in CLI help and batch errors, e.g. ``"spider"``.
     name: str = ""
     #: the platform class this solver claims.
     platform_type: type = object
+    #: the dispatch mode this solver answers ("offline" or "online").
+    mode: str = "offline"
     #: question kinds the solver answers.
     kinds: tuple[str, ...] = ("makespan", "deadline")
     #: True if deadline solves accept/produce warm caps (monotone in t_lim).
     supports_warm_caps: bool = False
     #: True when the solver is provably optimal (the paper's algorithms);
-    #: False for heuristics (trees) — consumers use this for honest labels.
+    #: False for heuristics (trees) and simulated policies (online) —
+    #: consumers use this for honest labels.
     exact: bool = True
     #: option keys the solver understands (anything else is a typo).
     option_keys: tuple[str, ...] = ()
@@ -68,50 +78,70 @@ class Solver:
             )
 
 
-_REGISTRY: dict[type, Solver] = {}
+_REGISTRY: dict[tuple[str, type], Solver] = {}
+
+
+def _check_mode(mode: str) -> str:
+    if mode not in MODES:
+        raise SolveError(f"unknown solver mode {mode!r}; expected {MODES}")
+    return mode
 
 
 def register(solver: Solver, *, replace: bool = False) -> Solver:
-    """Register ``solver`` for its ``platform_type``; returns it unchanged.
+    """Register ``solver`` for its ``(mode, platform_type)``; returns it.
 
-    Re-registering a claimed type needs ``replace=True`` — accidental
+    Re-registering a claimed slot needs ``replace=True`` — accidental
     double registration is a bug worth failing loudly on.
     """
-    cls = solver.platform_type
-    if cls in _REGISTRY and not replace:
+    key = (_check_mode(solver.mode), solver.platform_type)
+    if key in _REGISTRY and not replace:
         raise SolveError(
-            f"platform type {cls.__name__} already claimed by solver "
-            f"{_REGISTRY[cls].name!r} (pass replace=True to override)"
+            f"platform type {solver.platform_type.__name__} already claimed "
+            f"in {solver.mode!r} mode by solver {_REGISTRY[key].name!r} "
+            f"(pass replace=True to override)"
         )
-    _REGISTRY[cls] = solver
+    _REGISTRY[key] = solver
     return solver
 
 
-def unregister(platform_type: type) -> None:
-    """Drop the claim on ``platform_type`` (no-op if unclaimed)."""
-    _REGISTRY.pop(platform_type, None)
+def unregister(platform_type: type, mode: str = "offline") -> None:
+    """Drop the claim on ``(mode, platform_type)`` (no-op if unclaimed)."""
+    _REGISTRY.pop((_check_mode(mode), platform_type), None)
 
 
-def solver_for(platform: Any) -> Solver:
-    """The registered solver claiming ``platform``'s type (MRO-resolved)."""
+def solver_for(platform: Any, mode: str = "offline") -> Solver:
+    """The registered ``mode`` solver claiming ``platform``'s type
+    (MRO-resolved, so the online solver's claim on ``object`` catches every
+    platform)."""
+    _check_mode(mode)
     for cls in type(platform).__mro__:
-        solver = _REGISTRY.get(cls)
+        solver = _REGISTRY.get((mode, cls))
         if solver is not None:
             return solver
-    names = ", ".join(s.name for s in registered_solvers()) or "none"
+    names = ", ".join(s.name for s in registered_solvers(mode)) or "none"
     raise NoSolverError(
         f"no registered solver claims platform type "
-        f"{type(platform).__name__!r} (registered solvers: {names})"
+        f"{type(platform).__name__!r} in {mode!r} mode "
+        f"(registered {mode} solvers: {names})"
     )
 
 
-def registered_solvers() -> list[Solver]:
-    """All registered solvers, sorted by name (drives CLI help and docs)."""
-    return sorted(_REGISTRY.values(), key=lambda s: s.name)
+def registered_solvers(mode: Optional[str] = None) -> list[Solver]:
+    """Registered solvers — all modes, or one — sorted by (mode, name).
+
+    Offline solvers sort first, which keeps generated CLI help leading
+    with the paper's algorithms."""
+    if mode is not None:
+        _check_mode(mode)
+    return sorted(
+        (s for s in _REGISTRY.values() if mode is None or s.mode == mode),
+        key=lambda s: (s.mode, s.name),
+    )
 
 
 def solve(problem: Problem) -> Solution:
-    """Answer ``problem`` with the registered solver for its platform."""
-    solver = solver_for(problem.platform)
+    """Answer ``problem`` with the registered solver for its platform and
+    mode."""
+    solver = solver_for(problem.platform, problem.mode)
     solver.check_claims(problem)
     return solver.solve(problem)

@@ -1,11 +1,20 @@
 """The built-in solvers: one per platform class, registered on import.
 
-Each solver wraps the corresponding optimal algorithm (or, for general
-trees, the multi-round cover heuristic) and normalises its operation
-counters into the flat ``stats`` dict the batch engine archives.
+Each offline solver wraps the corresponding optimal algorithm (or, for
+general trees, the multi-round cover heuristic) and normalises its
+operation counters into the flat ``stats`` dict the batch engine archives.
+
+The *online* solver is registered on the orthogonal ``mode="online"`` axis
+and claims ``object`` — any platform with an adapter.  It answers by
+running a policy (round-robin / demand-driven / bandwidth-centric) through
+the discrete-event simulator, optionally with fail-stop worker failures
+injected, so `repro simulate`, `repro failures` and batch ``kind:"online"``
+scenarios all dispatch through the same registry as the static algorithms.
 """
 
 from __future__ import annotations
+
+from typing import Any, Mapping
 
 from ..core.chain import ChainRunStats
 from ..core.chain_fast import schedule_chain_deadline_fast, schedule_chain_fast
@@ -19,13 +28,15 @@ from ..platforms.chain import Chain
 from ..platforms.spider import Spider
 from ..platforms.star import Star
 from ..platforms.tree import Tree
+from ..sim.faults import WorkerFailure, simulate_with_failures
+from ..sim.online import ONLINE_POLICIES, simulate_online
 from ..trees.multiround import (
     COVER_STRATEGIES,
     DEFAULT_MAX_ROUNDS,
     tree_schedule_multiround,
     tree_schedule_multiround_deadline,
 )
-from .problem import Problem, Solution
+from .problem import Problem, Solution, SolveError
 from .registry import Solver, register
 
 
@@ -181,10 +192,115 @@ class TreeSolver(Solver):
         )
 
 
+def _parse_failure(spec: Any) -> WorkerFailure:
+    """Accept a :class:`WorkerFailure` or its JSON shape
+    ``{"time": t, "processor": p}`` (processor lists become tuple keys, the
+    spider/tree addressing)."""
+    if isinstance(spec, WorkerFailure):
+        return spec
+    if isinstance(spec, Mapping):
+        try:
+            time, proc = spec["time"], spec["processor"]
+        except KeyError as missing:
+            raise SolveError(
+                f"failure spec needs 'time' and 'processor', missing {missing}"
+            ) from None
+        if isinstance(proc, list):
+            proc = tuple(proc)
+        return WorkerFailure(time, proc)
+    raise SolveError(
+        f"failure spec must be a WorkerFailure or a dict, got {type(spec).__name__}"
+    )
+
+
+class OnlineSolver(Solver):
+    """Online policies through the simulator (``mode="online"``).
+
+    Claims ``object``: the MRO fallback makes every adapter-backed platform
+    answerable online without per-platform registrations.  Options:
+
+    * ``policy`` — name from :data:`~repro.sim.online.ONLINE_POLICIES` or a
+      callable (default ``"demand_driven"``);
+    * ``arrivals`` — optional per-task release times;
+    * ``failures`` — fail-stop specs (``{"time": t, "processor": p}``);
+      the answer is then *trace-only* (reissued ids defeat Definition 1);
+    * ``max_events`` — simulator event budget override.
+    """
+
+    name = "online"
+    mode = "online"
+    platform_type = object
+    kinds = ("makespan",)
+    exact = False  # a policy's makespan is achieved, not optimal
+    option_keys = ("policy", "arrivals", "failures", "max_events")
+    summary = (
+        "online policies via the simulator — "
+        f"{', '.join(sorted(ONLINE_POLICIES))}; fault injection via "
+        "options['failures']"
+    )
+
+    def solve(self, problem: Problem) -> Solution:
+        opts = problem.options
+        policy = opts.get("policy", "demand_driven")
+        if isinstance(policy, str) and policy not in ONLINE_POLICIES:
+            raise SolveError(
+                f"unknown online policy {policy!r} "
+                f"(choose from: {', '.join(sorted(ONLINE_POLICIES))})"
+            )
+        max_events = opts.get("max_events")
+        failures = [_parse_failure(f) for f in opts.get("failures", ())]
+        if failures:
+            if opts.get("arrivals") is not None:
+                raise SolveError(
+                    "online solver does not combine 'arrivals' with "
+                    "'failures' (the fault simulator has no release times)"
+                )
+            res = simulate_with_failures(
+                problem.platform, problem.n, failures, policy,
+                max_events=max_events,
+            )
+            # exclusivity is validate()'s job — callers opt into the
+            # O(E log E) trace sweep instead of paying it on every solve
+            policy_name = (
+                policy if isinstance(policy, str)
+                else getattr(policy, "__name__", "custom")
+            )
+            return Solution(
+                problem,
+                None,  # reissued task ids: no Definition-1 schedule exists
+                self.name,
+                stats={
+                    "attempts": res.attempts,
+                    "reissues": res.reissues,
+                    "completed": res.completed,
+                    "events": len(res.trace.events),
+                },
+                extra={
+                    "policy": policy_name,
+                    "failures": len(failures),
+                    "survivors": list(res.survivors),
+                },
+                trace=res.trace,
+            )
+        res = simulate_online(
+            problem.platform, problem.n, policy,
+            arrivals=opts.get("arrivals"), max_events=max_events,
+        )
+        return Solution(
+            problem,
+            res.schedule,
+            self.name,
+            stats={"events": len(res.trace.events)},
+            extra={"policy": res.policy},
+            trace=res.trace,
+        )
+
+
 #: The default registrations — importing :mod:`repro.solve` activates them.
 BUILTIN_SOLVERS = (
     register(ChainSolver()),
     register(StarSolver()),
     register(SpiderSolver()),
     register(TreeSolver()),
+    register(OnlineSolver()),
 )

@@ -280,7 +280,7 @@ class TestTreeScenarios:
 
         monkeypatch.setitem(
             registry.__dict__, "_REGISTRY",
-            {k: v for k, v in registry._REGISTRY.items() if k is not Tree},
+            {k: v for k, v in registry._REGISTRY.items() if k[1] is not Tree},
         )
         good_dict = _spider_dict()
         bad, good = run_batch([

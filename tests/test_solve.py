@@ -42,8 +42,12 @@ class TestProblemRecord:
 class TestRegistry:
     def test_all_builtin_platforms_claimed(self):
         assert {s.name for s in registered_solvers()} == {
+            "chain", "star", "spider", "tree", "online",
+        }
+        assert {s.name for s in registered_solvers("offline")} == {
             "chain", "star", "spider", "tree",
         }
+        assert [s.name for s in registered_solvers("online")] == ["online"]
 
     def test_solver_for_each_platform(self):
         assert solver_for(random_chain(3, seed=1)).name == "chain"
@@ -59,6 +63,7 @@ class TestRegistry:
         flags = {s.name: s.supports_warm_caps for s in registered_solvers()}
         assert flags == {
             "chain": False, "star": False, "spider": True, "tree": False,
+            "online": False,
         }
 
     def test_double_registration_rejected(self):
