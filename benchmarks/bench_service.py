@@ -1,0 +1,47 @@
+"""E14 — the cached scheduling service on the zipf-repeated workload.
+
+Regenerates the ``BENCH_service.json`` kernel and asserts the service
+acceptance claims: the warm (all-hit) pass must beat the cold (miss)
+median latency by >= 5×, every warm request must be served from the
+store, and relabeled-isomorphic requests must share cache entries (the
+cold pass hits more often than the *distinct-platform* count alone would
+allow).
+"""
+
+from benchmarks.common import report
+from benchmarks.kernels import (
+    SERVICE_POOL_SIZE,
+    SERVICE_REQUESTS,
+    kernel_service_zipf,
+)
+
+
+def test_service_cold_vs_warm_claims():
+    k = kernel_service_zipf()
+
+    assert k["warm_hits"] == SERVICE_REQUESTS, "primed store must always hit"
+    assert k["cold_misses"] <= SERVICE_POOL_SIZE, (
+        "every cold miss is one distinct fingerprint; relabeled repeats "
+        "must not miss"
+    )
+    assert k["cold_hits"] + k["cold_misses"] == SERVICE_REQUESTS
+    assert k["median_speedup"] >= 5, (
+        f"warm pass only {k['median_speedup']}x faster than cold misses "
+        f"(cold {k['cold_median_ms']}ms vs warm {k['warm_median_ms']}ms)"
+    )
+
+    report(
+        "E14  cached service: zipf workload, cold vs warm",
+        "\n".join(
+            f"  {label:<28}{value}"
+            for label, value in [
+                ("pool platforms", k["pool"]),
+                ("requests (cold + warm)", k["requests"]),
+                ("cold hit rate", f"{k['cold_hit_rate']:.1%}"),
+                ("cold median (miss)", f"{k['cold_median_ms']} ms"),
+                ("warm median (hit)", f"{k['warm_median_ms']} ms"),
+                ("median speedup", f"{k['median_speedup']}x"),
+                ("throughput", f"{k['throughput_rps']} req/s"),
+            ]
+        ),
+    )

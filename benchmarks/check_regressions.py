@@ -7,7 +7,7 @@ Usage (opt-in, not part of the default pytest run)::
     python -m benchmarks.check_regressions --skip-legacy   # fast paths only
     python -m benchmarks.check_regressions --family online  # one family only
 
-Three committed baseline files, one per kernel family:
+Four committed baseline files, one per kernel family:
 
 * ``BENCH_spider.json`` — the spider/chain/allocator/batch kernels plus the
   headline ``speedup`` block;
@@ -16,7 +16,11 @@ Three committed baseline files, one per kernel family:
   under ``suite``;
 * ``BENCH_online.json`` — the online-policy regret suite (policies ×
   platforms vs the offline optimum, replay-validated through the batch
-  engine) plus per-platform detail under ``suite``.
+  engine) plus per-platform detail under ``suite``;
+* ``BENCH_service.json`` — the cached-service zipf workload (cold vs warm
+  throughput, hit rates); its family **claim check** additionally asserts
+  the warm pass is >= 5× faster (median) than cold misses, so a cache
+  regression fails even when wall clock stays under the threshold.
 
 Every kernel is run fresh; a kernel slower than ``--threshold`` (default
 2×) its committed seconds fails the check.  Operation counters (and for
@@ -40,10 +44,21 @@ _HERE = Path(__file__).resolve().parent
 SPIDER_BASELINE_PATH = _HERE / "BENCH_spider.json"
 TREE_BASELINE_PATH = _HERE / "BENCH_tree.json"
 ONLINE_BASELINE_PATH = _HERE / "BENCH_online.json"
+SERVICE_BASELINE_PATH = _HERE / "BENCH_service.json"
 
-#: counters that may legitimately wobble run-to-run (none today — wall clock
-#: is the only non-deterministic field, and it is threshold-compared).
-_TIMING_FIELDS = {"seconds"}
+#: fields that legitimately wobble run-to-run (wall clock and everything
+#: derived from it) — threshold- or claim-checked, never compared exactly.
+_TIMING_FIELDS = {
+    "seconds",
+    "cold_median_ms",
+    "warm_median_ms",
+    "median_speedup",
+    "throughput_rps",
+}
+
+#: the service family's acceptance floor: warm (all-hit) median latency
+#: must beat cold (miss) median latency by at least this factor.
+SERVICE_MIN_SPEEDUP = 5.0
 
 #: wall-clock floor for the threshold comparison: baselines are recorded on
 #: one machine and compared on another (CI), so sub-50ms kernels would flake
@@ -101,8 +116,56 @@ def build_online_payload(kernels: dict[str, dict]) -> dict:
     }
 
 
+def build_service_payload(kernels: dict[str, dict]) -> dict:
+    from benchmarks.kernels import (
+        SERVICE_N,
+        SERVICE_POOL_SIZE,
+        SERVICE_REQUESTS,
+        SERVICE_SEED,
+    )
+
+    return {
+        "schema": 1,
+        "kernels": kernels,
+        "workload": {
+            "pool": SERVICE_POOL_SIZE,
+            "requests": SERVICE_REQUESTS,
+            "n": SERVICE_N,
+            "zipf_seed": SERVICE_SEED,
+        },
+    }
+
+
+def check_service_claims(fresh: dict[str, dict]) -> list[str]:
+    """Fresh-run acceptance claims of the service family (beyond the
+    generic threshold/counter comparison)."""
+    kernel = fresh.get("service_zipf_workload")
+    if kernel is None:
+        return []
+    failures = []
+    if kernel["median_speedup"] < SERVICE_MIN_SPEEDUP:
+        failures.append(
+            f"service_zipf_workload: warm/cold median speedup "
+            f"{kernel['median_speedup']}x below the {SERVICE_MIN_SPEEDUP}x "
+            f"acceptance floor (cold {kernel['cold_median_ms']}ms vs warm "
+            f"{kernel['warm_median_ms']}ms)"
+        )
+    if kernel["warm_hits"] != kernel["requests"] // 2:
+        failures.append(
+            f"service_zipf_workload: warm pass had "
+            f"{kernel['warm_hits']}/{kernel['requests'] // 2} hits — the "
+            "primed store must serve every request"
+        )
+    return failures
+
+
 def _families() -> list[dict]:
-    from benchmarks.kernels import KERNELS, ONLINE_KERNELS, TREE_KERNELS
+    from benchmarks.kernels import (
+        KERNELS,
+        ONLINE_KERNELS,
+        SERVICE_KERNELS,
+        TREE_KERNELS,
+    )
 
     return [
         {
@@ -122,6 +185,13 @@ def _families() -> list[dict]:
             "path": ONLINE_BASELINE_PATH,
             "kernels": ONLINE_KERNELS,
             "payload": build_online_payload,
+        },
+        {
+            "name": "service",
+            "path": SERVICE_BASELINE_PATH,
+            "kernels": SERVICE_KERNELS,
+            "payload": build_service_payload,
+            "check": check_service_claims,
         },
     ]
 
@@ -199,6 +269,15 @@ def main(argv: list[str] | None = None) -> int:
         print(f"running {family['name']} kernels:")
         fresh = run_family(family["kernels"], skip_legacy=args.skip_legacy)
 
+        # family claim checks run on the *fresh* numbers in both modes — a
+        # baseline that fails its own acceptance claim must not be written
+        claim_failures = family.get("check", lambda _fresh: [])(fresh)
+        if claim_failures:
+            failures.extend(claim_failures)
+            if args.update:
+                print(f"NOT writing {family['path']}: claim check failed")
+                continue
+
         if args.update:
             payload = family["payload"](fresh)
             with open(family["path"], "w", encoding="utf-8") as fh:
@@ -224,6 +303,11 @@ def main(argv: list[str] | None = None) -> int:
         failures.extend(compare(fresh, baseline, args.threshold))
 
     if args.update:
+        if failures:
+            print("\nFAILURES:")
+            for f in failures:
+                print(f"  - {f}")
+            return 1
         return 0
     if failures:
         print("\nFAILURES:")

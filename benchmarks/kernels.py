@@ -450,3 +450,137 @@ def kernel_online_regret_suite() -> dict:
 ONLINE_KERNELS: dict[str, Callable[[], dict]] = {
     "online_regret_suite": kernel_online_regret_suite,
 }
+
+
+# ---------------------------------------------------------------------------
+# The service acceptance workload: zipf-repeated platforms through the cache
+# ---------------------------------------------------------------------------
+
+#: Workload shape: a pool of distinct platforms (all four kinds), hit by a
+#: zipf-distributed request stream in which every request is a *random
+#: relabeling* of its platform — the regime the canonical fingerprints
+#: exist for.  Cold pass = empty store (misses solve + validate + store;
+#: zipf repeats already hit), warm pass = same stream again (pure hits).
+SERVICE_POOL_SIZE = 24
+SERVICE_REQUESTS = 160
+SERVICE_N = 48
+SERVICE_SEED = 0x51CE
+
+
+def relabeled_platform(platform, rng):
+    """A randomly relabeled isomorphic copy (chains have no freedom)."""
+    from repro.platforms.star import Star
+    from repro.platforms.tree import Tree
+
+    if isinstance(platform, Star):
+        children = list(platform.children)
+        rng.shuffle(children)
+        return Star(children)
+    if isinstance(platform, Spider):
+        legs = list(platform.legs)
+        rng.shuffle(legs)
+        return Spider(legs)
+    if isinstance(platform, Tree):
+        nodes = platform.workers
+        new_ids = rng.sample(range(1, 10 * (len(nodes) + 2)), len(nodes))
+        perm = {0: 0, **dict(zip(nodes, new_ids))}
+        edges = [
+            (perm[platform.parent(v)], perm[v],
+             platform.latency(v), platform.work(v))
+            for v in nodes
+        ]
+        rng.shuffle(edges)
+        return Tree(edges)
+    return platform
+
+
+def service_workload() -> list:
+    """The deterministic request stream (a list of Problems)."""
+    import random
+
+    from repro.platforms.generators import random_spider
+    from repro.solve import Problem
+
+    pool = []
+    for i in range(SERVICE_POOL_SIZE):
+        kind = i % 4
+        if kind == 0:
+            pool.append(random_spider(4, 3, seed=900 + i))
+        elif kind == 1:
+            pool.append(random_chain(6, seed=900 + i))
+        elif kind == 2:
+            pool.append(random_star(8, seed=900 + i))
+        else:
+            pool.append(random_tree(7, seed=900 + i))
+    rng = random.Random(SERVICE_SEED)
+    weights = [1.0 / rank for rank in range(1, SERVICE_POOL_SIZE + 1)]
+    picks = rng.choices(range(SERVICE_POOL_SIZE), weights=weights,
+                        k=SERVICE_REQUESTS)
+    return [
+        Problem(relabeled_platform(pool[i], rng), "makespan", n=SERVICE_N)
+        for i in picks
+    ]
+
+
+def kernel_service_zipf() -> dict:
+    """The cached-service acceptance kernel: cold vs warm over the stream.
+
+    ``median_speedup`` compares the median *miss* latency of the cold pass
+    (solve + replay-validate + store) against the median latency of the
+    all-hit warm pass (fingerprint + lookup + rebind) — the factor a
+    serving deployment gains once its store is primed."""
+    from statistics import median
+
+    from repro.service.engine import cached_solve
+    from repro.service.store import SolutionStore
+
+    def once() -> dict:
+        problems = service_workload()
+        store = SolutionStore(capacity=2 * SERVICE_POOL_SIZE)
+        t0 = time.perf_counter()
+        cold_lat: list[float] = []
+        miss_lat: list[float] = []
+        cold_hits = 0
+        for problem in problems:
+            r0 = time.perf_counter()
+            outcome = cached_solve(problem, store)
+            lat = time.perf_counter() - r0
+            cold_lat.append(lat)
+            if outcome.cached:
+                cold_hits += 1
+            else:
+                miss_lat.append(lat)
+        warm_lat: list[float] = []
+        warm_hits = 0
+        for problem in problems:
+            r0 = time.perf_counter()
+            outcome = cached_solve(problem, store)
+            warm_lat.append(time.perf_counter() - r0)
+            if outcome.cached:
+                warm_hits += 1
+        seconds = time.perf_counter() - t0
+        assert warm_hits == len(problems), "warm pass must be all hits"
+        cold_median = median(miss_lat)
+        warm_median = median(warm_lat)
+        return {
+            "seconds": seconds,
+            "requests": 2 * len(problems),
+            "pool": SERVICE_POOL_SIZE,
+            "cold_hits": cold_hits,
+            "cold_misses": len(miss_lat),
+            "warm_hits": warm_hits,
+            "store_entries": len(store),
+            "cold_hit_rate": round(cold_hits / len(problems), 4),
+            "cold_median_ms": round(cold_median * 1e3, 3),
+            "warm_median_ms": round(warm_median * 1e3, 3),
+            "median_speedup": round(cold_median / warm_median, 2),
+            "throughput_rps": round(2 * len(problems) / seconds, 1),
+        }
+
+    return _best_of(once, 2)
+
+
+#: service kernels live in their own baseline file (``BENCH_service.json``).
+SERVICE_KERNELS: dict[str, Callable[[], dict]] = {
+    "service_zipf_workload": kernel_service_zipf,
+}

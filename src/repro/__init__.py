@@ -33,7 +33,7 @@ from .core import (
 from .platforms import Chain, ProcessorSpec, Spider, Star, Tree
 from .solve import Problem, Solution, registered_solvers, solve, solver_for
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CommVector",

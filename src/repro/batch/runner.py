@@ -21,6 +21,17 @@ enforces port serialisation, relay-FIFO forwarding and CPU cadence and
 compares the makespan bit-exactly.  A solution that fails replay fails its
 scenario.
 
+With ``cache=`` (a solution-store path, or a live
+:class:`~repro.service.store.SolutionStore` for serial runs) every
+*offline* scenario goes through :func:`repro.service.engine.cached_solve`:
+the platform is canonically fingerprinted and repeated — including
+relabeled-isomorphic — platforms are served from the store instead of
+re-solved, which is what makes deadline/policy sweeps over a fixed
+platform pool cheap.  Cache-served rows carry ``cached=True``.  Online
+scenarios always solve fresh (their answers carry run-specific traces).
+When the cache is active the warm-cap hand-off is retired in its favour —
+cached solves are keyed canonically and return no caps.
+
 ``workers <= 1`` (the default) runs everything inline — deterministic,
 fork-free, and what the unit tests exercise.  ``workers > 1`` fans groups
 over ``concurrent.futures`` (processes by default for CPU-bound Python,
@@ -33,6 +44,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from functools import partial
+from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
 from ..io.json_io import platform_from_dict
@@ -65,8 +77,19 @@ def _caps_cover(caps_budget: object, n: Optional[int]) -> bool:
     return n is not None and n <= caps_budget  # type: ignore[operator]
 
 
+def _open_store(cache):
+    """Coerce the ``cache`` argument into a live SolutionStore (or None)."""
+    if cache is None:
+        return None, False
+    from ..service.store import SolutionStore
+
+    if isinstance(cache, SolutionStore):
+        return cache, False
+    return SolutionStore(path=cache), True
+
+
 def run_group(
-    group: Sequence[_IndexedScenario], validate: bool = False
+    group: Sequence[_IndexedScenario], validate: bool = False, cache=None
 ) -> list[_IndexedResult]:
     """Solve one platform group (module-level so process pools can pickle).
 
@@ -85,6 +108,7 @@ def run_group(
             ))
             for index, sc in group
         ]
+    store, own_store = _open_store(cache)
 
     solvers: dict[str, Solver] = {}
 
@@ -112,53 +136,65 @@ def run_group(
     out: list[_IndexedResult] = []
     caps: Optional[dict[int, int]] = None
     caps_budget: object = _NO_CAPS
-    for index, sc in ordered:
-        t0 = time.perf_counter()
-        try:
-            solver = solver_of(_dispatch_mode(sc))
-            warm = (
-                caps
-                if solver.supports_warm_caps
-                and sc.kind == "deadline"
-                and _caps_cover(caps_budget, sc.n)
-                else None
-            )
-            problem = Problem(
-                platform,
-                "makespan" if sc.kind == "online" else sc.kind,
-                n=sc.n,
-                t_lim=sc.t_lim,
-                allocator=sc.allocator,
-                mode=_dispatch_mode(sc),
-                options=sc.options,
-                warm_caps=warm,
-            )
-            solver.check_claims(problem)
-            solution = solver.solve(problem)
-            if validate:
-                solution.validate()
-            result = ScenarioResult(
-                sc.id, True, sc.kind,
-                makespan=solution.makespan,
-                n_tasks=solution.n_tasks,
-                t_lim=sc.t_lim if sc.kind == "deadline" else None,
-                stats=solution.stats,
-                rounds=(
-                    len(solution.extra["rounds"])
-                    if "rounds" in solution.extra else None
-                ),
-                coverage=solution.extra.get("coverage"),
-                policy=solution.extra.get("policy"),
-                validated=True if validate else None,
-            )
-            if sc.kind == "deadline" and solution.warm_caps is not None:
-                caps, caps_budget = dict(solution.warm_caps), sc.n
-        except Exception as exc:  # noqa: BLE001 - one bad scenario must not sink the batch
-            result = ScenarioResult(
-                sc.id, False, sc.kind, error=f"{type(exc).__name__}: {exc}"
-            )
-        wall = time.perf_counter() - t0
-        out.append((index, replace(result, wall_s=wall)))
+    try:
+        for index, sc in ordered:
+            t0 = time.perf_counter()
+            try:
+                solver = solver_of(_dispatch_mode(sc))
+                warm = (
+                    caps
+                    if solver.supports_warm_caps
+                    and sc.kind == "deadline"
+                    and _caps_cover(caps_budget, sc.n)
+                    else None
+                )
+                problem = Problem(
+                    platform,
+                    "makespan" if sc.kind == "online" else sc.kind,
+                    n=sc.n,
+                    t_lim=sc.t_lim,
+                    allocator=sc.allocator,
+                    mode=_dispatch_mode(sc),
+                    options=sc.options,
+                    warm_caps=warm,
+                )
+                solver.check_claims(problem)
+                cached: Optional[bool] = None
+                if store is not None and problem.mode == "offline":
+                    from ..service.engine import cached_solve
+
+                    outcome = cached_solve(problem, store)
+                    solution, cached = outcome.solution, outcome.cached
+                else:
+                    solution = solver.solve(problem)
+                if validate:
+                    solution.validate()
+                result = ScenarioResult(
+                    sc.id, True, sc.kind,
+                    makespan=solution.makespan,
+                    n_tasks=solution.n_tasks,
+                    t_lim=sc.t_lim if sc.kind == "deadline" else None,
+                    stats=solution.stats,
+                    rounds=(
+                        len(solution.extra["rounds"])
+                        if "rounds" in solution.extra else None
+                    ),
+                    coverage=solution.extra.get("coverage"),
+                    policy=solution.extra.get("policy"),
+                    validated=True if validate else None,
+                    cached=cached,
+                )
+                if sc.kind == "deadline" and solution.warm_caps is not None:
+                    caps, caps_budget = dict(solution.warm_caps), sc.n
+            except Exception as exc:  # noqa: BLE001 - one bad scenario must not sink the batch
+                result = ScenarioResult(
+                    sc.id, False, sc.kind, error=f"{type(exc).__name__}: {exc}"
+                )
+            wall = time.perf_counter() - t0
+            out.append((index, replace(result, wall_s=wall)))
+    finally:
+        if own_store:
+            store.close()
     return out
 
 
@@ -195,11 +231,15 @@ class BatchRunner:
     ``"thread"`` or ``"serial"``.
     ``validate``: replay-validate every successful answer through the
     simulator (a failed replay fails its scenario).
+    ``cache``: solution-store path (any mode; SQLite arbitrates between
+    processes) or a live ``SolutionStore`` (serial/thread only) — offline
+    scenarios on repeated platforms are then served from the store.
     """
 
     workers: int = 1
     mode: str = "auto"
     validate: bool = False
+    cache: object = None
 
     def run(self, scenarios: Iterable[Scenario]) -> list[ScenarioResult]:
         indexed = list(enumerate(scenarios))
@@ -208,12 +248,19 @@ class BatchRunner:
             groups.setdefault(sc.platform_key, []).append((index, sc))
         group_list = list(groups.values())
 
-        solve_group = partial(run_group, validate=self.validate)
+        solve_group = partial(run_group, validate=self.validate, cache=self.cache)
         mode = self.mode
         if mode not in ("auto", "serial", "thread", "process"):
             raise BatchError(f"unknown batch mode {self.mode!r}")
         if mode == "auto":
             mode = "process" if self.workers > 1 else "serial"
+        if mode == "process" and self.cache is not None and not isinstance(
+            self.cache, (str, Path)
+        ):
+            raise BatchError(
+                "process pools need cache= as a store *path* (a live "
+                "SolutionStore cannot be shared across processes)"
+            )
         if mode != "serial" and self.workers > 1:
             group_list = _split_for_workers(group_list, self.workers)
         if mode == "serial" or self.workers <= 1 or len(group_list) <= 1:
@@ -240,6 +287,9 @@ def run_batch(
     workers: int = 1,
     mode: str = "auto",
     validate: bool = False,
+    cache: object = None,
 ) -> list[ScenarioResult]:
-    """Convenience wrapper: ``BatchRunner(workers, mode, validate).run(...)``."""
-    return BatchRunner(workers=workers, mode=mode, validate=validate).run(scenarios)
+    """Convenience wrapper: ``BatchRunner(workers, mode, validate, cache).run(...)``."""
+    return BatchRunner(
+        workers=workers, mode=mode, validate=validate, cache=cache
+    ).run(scenarios)

@@ -133,6 +133,9 @@ class ScenarioResult:
     #: True when the runner replay-validated this answer through the
     #: simulator (``run_batch(validate=True)``); None when not requested.
     validated: Optional[bool] = None
+    #: True when the answer came from the solution store, False when the
+    #: cache was consulted but missed; None when no cache was configured.
+    cached: Optional[bool] = None
 
     def to_dict(self) -> dict[str, Any]:
         d: dict[str, Any] = {
@@ -142,7 +145,7 @@ class ScenarioResult:
             "wall_s": self.wall_s,
         }
         for key in ("makespan", "n_tasks", "t_lim", "error", "rounds",
-                    "coverage", "policy", "validated"):
+                    "coverage", "policy", "validated", "cached"):
             value = getattr(self, key)
             if value is not None:
                 d[key] = value
@@ -166,6 +169,7 @@ class ScenarioResult:
             coverage=d.get("coverage"),
             policy=d.get("policy"),
             validated=d.get("validated"),
+            cached=d.get("cached"),
         )
 
 

@@ -27,7 +27,11 @@ Commands
 ``fig7``
     DOT rendering of the chain→fork transformation at a deadline.
 ``batch``
-    Run a JSON scenario batch through the solver registry.
+    Run a JSON scenario batch through the solver registry
+    (``--cache PATH`` serves repeated platforms from the solution store).
+``serve``
+    Long-lived cached scheduling service speaking JSON-lines over
+    stdio (default) or ``--tcp HOST:PORT``.
 
 Every command that answers a scheduling question — offline *and* online —
 does so through :func:`repro.solve.solve`; the platform-type and mode
@@ -36,6 +40,18 @@ dispatch lives in the solver registry, not here.
 All commands accept ``--gantt`` (ASCII chart), ``--svg PATH`` and
 ``--json PATH`` outputs, and ``--platform FILE`` to load a JSON platform
 instead of inline specs.
+
+Exit codes
+----------
+
+========  ==========================================================
+0         success
+1         generic failure (failed batch scenarios, report errors)
+2         usage error (argparse)
+3         no registered solver claims the platform (``NoSolverError``)
+4         the answer is infeasible (``InfeasibleScheduleError``)
+5         replay validation failed (``ValidationError``)
+========  ==========================================================
 """
 
 from __future__ import annotations
@@ -58,6 +74,28 @@ from .solve import Problem, registered_solvers, solve
 from .trees.multiround import COVER_STRATEGIES
 from .viz.gantt import render_gantt
 from .viz.svg import save_svg
+
+
+# distinct exit codes so scripted callers (CI gates, the service smoke
+# job) can branch on *why* a command failed without parsing stderr
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2  # argparse's own code, listed for completeness
+EXIT_NO_SOLVER = 3
+EXIT_INFEASIBLE = 4
+EXIT_VALIDATION = 5
+
+
+def _version() -> str:
+    """Installed package version, falling back to the source tree's."""
+    from importlib.metadata import PackageNotFoundError, version
+
+    try:
+        return version("repro-dutot-ipps03")
+    except PackageNotFoundError:
+        from . import __version__
+
+        return __version__
 
 
 def _parse_ints_or_floats(text: str) -> list:
@@ -119,6 +157,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Master-slave tasking on heterogeneous processors (Dutot, IPPS 2003)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -248,7 +289,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="low-level engine mode (--executor is the friendly face)")
     p.add_argument("--validate", action="store_true",
                    help="replay-validate every answer through the simulator")
+    p.add_argument("--cache", metavar="PATH",
+                   help="solution-store SQLite file: repeated (isomorphic) "
+                   "platforms are served from cache instead of re-solved")
     p.add_argument("--out", metavar="PATH", help="write results JSON")
+
+    p = sub.add_parser(
+        "serve",
+        help="cached scheduling service (JSON-lines over stdio or TCP)",
+        description=(
+            "Long-lived scheduling service: requests are canonically "
+            "fingerprinted, answered from the content-addressed solution "
+            "store when possible (isomorphic platforms share entries), and "
+            "coalesced when identical requests are in flight."
+        ),
+    )
+    p.add_argument("--store", metavar="PATH",
+                   help="persistent SQLite solution store (default: memory only)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="solver thread-pool size (default 2)")
+    p.add_argument("--capacity", type=int, default=256,
+                   help="in-memory LRU capacity (default 256)")
+    p.add_argument("--tcp", metavar="HOST:PORT",
+                   help="serve over TCP instead of stdio (PORT 0 = ephemeral)")
 
     p = sub.add_parser("report", help="regenerate the headline results as markdown")
     p.add_argument("--seed", type=int, default=0)
@@ -260,7 +323,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    from .core.types import InfeasibleScheduleError
+    from .solve.problem import NoSolverError, ValidationError
 
+    try:
+        return _run(args)
+    except NoSolverError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_NO_SOLVER
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_VALIDATION
+    except InfeasibleScheduleError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_INFEASIBLE
+
+
+def _run(args) -> int:
     if args.command == "fig2":
         chain = paper_fig2_chain()
         sched = solve(Problem(chain, "makespan", n=5)).schedule
@@ -420,7 +499,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
         mode = EXECUTOR_MODES[args.executor] if args.executor else args.mode
         results = run_batch(scenarios, workers=args.workers, mode=mode,
-                            validate=args.validate)
+                            validate=args.validate, cache=args.cache)
         rows = [
             (
                 r.scenario_id,
@@ -441,11 +520,42 @@ def main(argv: Sequence[str] | None = None) -> int:
         ))
         failed = [r for r in results if not r.ok]
         checked = sum(1 for r in results if r.validated)
+        hits = sum(1 for r in results if r.cached)
         print(f"{len(results) - len(failed)}/{len(results)} scenarios ok"
-              + (f"   ({checked} replay-validated)" if args.validate else ""))
+              + (f"   ({checked} replay-validated)" if args.validate else "")
+              + (f"   ({hits} cache hits)" if args.cache else ""))
         if args.out:
             print(f"wrote {save_results(results, args.out)}")
-        return 0 if not failed else 1
+        return EXIT_OK if not failed else EXIT_FAILURE
+
+    if args.command == "serve":
+        import asyncio
+
+        from .service import ScheduleService, SolutionStore
+
+        store = SolutionStore(path=args.store, capacity=args.capacity)
+        service = ScheduleService(store=store, workers=args.workers)
+        try:
+            if args.tcp:
+                host, sep, port = args.tcp.rpartition(":")
+                if not sep or not port.isdigit():
+                    raise SystemExit(
+                        f"--tcp needs HOST:PORT (e.g. 127.0.0.1:7000), "
+                        f"got {args.tcp!r}"
+                    )
+                asyncio.run(service.serve_tcp(
+                    host or "127.0.0.1", int(port),
+                    # stderr keeps stdout clean for clients tee-ing both
+                    ready=lambda p: print(f"listening on {host or '127.0.0.1'}:{p}",
+                                          file=sys.stderr, flush=True),
+                ))
+            else:
+                asyncio.run(service.serve_stdio())
+        except KeyboardInterrupt:  # pragma: no cover - interactive stop
+            pass
+        finally:
+            service.close()
+        return 0
 
     if args.command == "report":
         from .analysis.report import build_report
@@ -457,7 +567,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"wrote {args.out}")
         else:
             print(rep.markdown)
-        return 0 if rep.ok else 1
+        return EXIT_OK if rep.ok else EXIT_FAILURE
 
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
 

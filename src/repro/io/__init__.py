@@ -1,4 +1,4 @@
-"""Serialisation helpers (JSON platforms/schedules)."""
+"""Serialisation helpers (JSON platforms/schedules/problems/solutions)."""
 
 from .json_io import (
     SCHEMA_VERSION,
@@ -6,10 +6,16 @@ from .json_io import (
     load_schedule,
     platform_from_dict,
     platform_to_dict,
+    problem_from_dict,
+    problem_to_dict,
     save_platform,
     save_schedule,
     schedule_from_dict,
     schedule_to_dict,
+    solution_from_dict,
+    solution_to_dict,
+    trace_from_dict,
+    trace_to_dict,
 )
 
 __all__ = [
@@ -18,8 +24,14 @@ __all__ = [
     "load_schedule",
     "platform_from_dict",
     "platform_to_dict",
+    "problem_from_dict",
+    "problem_to_dict",
     "save_platform",
     "save_schedule",
     "schedule_from_dict",
     "schedule_to_dict",
+    "solution_from_dict",
+    "solution_to_dict",
+    "trace_from_dict",
+    "trace_to_dict",
 ]

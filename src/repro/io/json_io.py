@@ -1,8 +1,13 @@
-"""Versioned JSON (de)serialisation of platforms, schedules and traces.
+"""Versioned JSON (de)serialisation of platforms, schedules, problems,
+solutions and traces.
 
 Plain-JSON on purpose: instances generated for the experiments can be
 archived next to the results, diffed, and reloaded bit-exactly (integer
-platforms stay integers through the round trip).
+platforms stay integers through the round trip).  The problem/solution
+round trip is what the service layer's content-addressed store and its
+JSON-lines wire protocol are built on, so every record carries enough to
+reconstruct the full object — a solution embeds its problem, a trace its
+events and busy intervals.
 """
 
 from __future__ import annotations
@@ -11,6 +16,7 @@ import json
 from pathlib import Path
 from typing import Any, Mapping, Union
 
+from ..core.fork import DEFAULT_ALLOCATOR
 from ..core.schedule import Schedule
 from ..core.types import ReproError
 from ..platforms.chain import Chain
@@ -73,3 +79,144 @@ def save_schedule(schedule: Schedule, path: str | Path) -> Path:
 
 def load_schedule(path: str | Path) -> Schedule:
     return schedule_from_dict(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------------
+# Problems and solutions (the solve-layer records)
+# ---------------------------------------------------------------------------
+#
+# Resource keys (processors, links, ports) are ints, strings or tuples —
+# possibly nested, e.g. a trace's ``("link", (leg, pos))`` busy keys; JSON
+# has no tuple, so tuples travel as (nested) lists and are re-tupled on
+# load.  Everything else round-trips bit-exactly (ints stay ints).
+
+
+def _key_to_json(key: Any) -> Any:
+    if isinstance(key, tuple):
+        return [_key_to_json(part) for part in key]
+    return key
+
+
+def _key_from_json(key: Any) -> Any:
+    if isinstance(key, list):
+        return tuple(_key_from_json(part) for part in key)
+    return key
+
+
+def problem_to_dict(problem: Any) -> dict[str, Any]:
+    """Serialise a :class:`~repro.solve.problem.Problem` (platform included)."""
+    d: dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "record": "problem",
+        "platform": platform_to_dict(problem.platform),
+        "kind": problem.kind,
+        "mode": problem.mode,
+        "allocator": problem.allocator,
+    }
+    if problem.n is not None:
+        d["n"] = problem.n
+    if problem.t_lim is not None:
+        d["t_lim"] = problem.t_lim
+    if problem.options:
+        d["options"] = dict(problem.options)
+    if problem.warm_caps is not None:
+        # list-of-pairs keeps the integer keys JSON dicts would stringify
+        d["warm_caps"] = sorted(problem.warm_caps.items())
+    return d
+
+
+def problem_from_dict(d: Mapping[str, Any]) -> Any:
+    from ..solve.problem import Problem  # local import: solve sits above io
+
+    if d.get("record", "problem") != "problem":
+        raise ReproError(f"not a problem payload: {d.get('record')!r}")
+    warm = d.get("warm_caps")
+    return Problem(
+        platform_from_dict(d["platform"]),
+        kind=d.get("kind", "makespan"),
+        n=d.get("n"),
+        t_lim=d.get("t_lim"),
+        allocator=d.get("allocator", DEFAULT_ALLOCATOR),
+        mode=d.get("mode", "offline"),
+        options=d.get("options", {}),
+        warm_caps=None if warm is None else {int(k): v for k, v in warm},
+    )
+
+
+def trace_to_dict(trace: Any) -> dict[str, Any]:
+    """Serialise a :class:`~repro.sim.trace.Trace` (events + busy intervals)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "record": "trace",
+        "events": [
+            [e.time, e.kind.value, e.task, _key_to_json(e.resource)]
+            for e in trace.events
+        ],
+        "busy": [
+            [_key_to_json(resource), [list(iv) for iv in intervals]]
+            for resource, intervals in trace.busy.items()
+        ],
+    }
+
+
+def trace_from_dict(d: Mapping[str, Any]) -> Any:
+    from ..sim.events import Event, EventKind  # local import: sim sits above io
+    from ..sim.trace import Trace
+
+    if d.get("record", "trace") != "trace":
+        raise ReproError(f"not a trace payload: {d.get('record')!r}")
+    trace = Trace()
+    for time, kind, task, resource in d["events"]:
+        trace.record(Event(time, EventKind(kind), task, _key_from_json(resource)))
+    for resource, intervals in d["busy"]:
+        for start, end, task in intervals:
+            trace.record_interval(_key_from_json(resource), start, end, task)
+    return trace
+
+
+def solution_to_dict(solution: Any) -> dict[str, Any]:
+    """Serialise a :class:`~repro.solve.problem.Solution` with its problem,
+    schedule (or ``None`` for trace-only answers) and execution trace."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "record": "solution",
+        "problem": problem_to_dict(solution.problem),
+        "schedule": (
+            None if solution.schedule is None
+            else schedule_to_dict(solution.schedule)
+        ),
+        "solver": solution.solver,
+        "stats": dict(solution.stats),
+        "warm_caps": (
+            None if solution.warm_caps is None
+            else sorted(solution.warm_caps.items())
+        ),
+        "extra": dict(solution.extra),
+        "trace": None if solution.trace is None else trace_to_dict(solution.trace),
+    }
+
+
+def solution_from_dict(d: Mapping[str, Any]) -> Any:
+    from ..solve.problem import Solution  # local import: solve sits above io
+
+    if d.get("record", "solution") != "solution":
+        raise ReproError(f"not a solution payload: {d.get('record')!r}")
+    problem = problem_from_dict(d["problem"])
+    raw_sched = d.get("schedule")
+    # bind the schedule to the problem's platform object so solution.schedule
+    # and solution.problem.platform stay the *same* instance, as when solved
+    schedule = (
+        None if raw_sched is None
+        else Schedule.from_dict(raw_sched, platform=problem.platform)
+    )
+    warm = d.get("warm_caps")
+    raw_trace = d.get("trace")
+    return Solution(
+        problem,
+        schedule,
+        d["solver"],
+        stats=dict(d.get("stats", {})),
+        warm_caps=None if warm is None else {int(k): v for k, v in warm},
+        extra=dict(d.get("extra", {})),
+        trace=None if raw_trace is None else trace_from_dict(raw_trace),
+    )

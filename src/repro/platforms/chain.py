@@ -32,10 +32,9 @@ class Chain:
         if not c_t:
             raise PlatformError("chain must contain at least one processor")
         for i, (ci, wi) in enumerate(zip(c_t, w_t), start=1):
-            try:
-                validate_cw(ci, wi, allow_zero_latency=(i == 1))
-            except PlatformError as exc:
-                raise PlatformError(f"processor {i}: {exc}") from None
+            validate_cw(
+                ci, wi, allow_zero_latency=(i == 1), where=f"processor {i}"
+            )
         object.__setattr__(self, "c", c_t)
         object.__setattr__(self, "w", w_t)
 

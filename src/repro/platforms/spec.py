@@ -49,20 +49,34 @@ class ProcessorSpec:
         return ProcessorSpec(d["c"], d["w"])
 
 
-def validate_cw(c: Time, w: Time, *, allow_zero_latency: bool = False) -> None:
+def validate_cw(
+    c: Time, w: Time, *, allow_zero_latency: bool = False, where: str = ""
+) -> None:
     """Validate one ``(c, w)`` pair; raise :class:`PlatformError` if bad.
 
     Any real number type works — int (exact, the default), float, or
-    ``fractions.Fraction`` (exact rationals) — but not bool.
+    ``fractions.Fraction`` (exact rationals) — but not bool.  ``where``
+    names the owner in error messages (e.g. ``"processor 3"``), so a bad
+    value inside a 64-node platform points at the offending node, not
+    just the field.
     """
     import numbers
 
-    for name, v in (("c", c), ("w", w)):
+    ctx = f"{where}: " if where else ""
+    for name, v in (("link latency c", c), ("processing time w", w)):
         if isinstance(v, bool) or not isinstance(v, numbers.Real):
-            raise PlatformError(f"{name} must be a number, got {v!r}")
+            raise PlatformError(f"{ctx}{name} must be a number, got {v!r}")
         if v != v or v == float("inf") or v == float("-inf"):
-            raise PlatformError(f"{name} must be finite, got {v!r}")
+            raise PlatformError(f"{ctx}{name} must be finite, got {v!r}")
     if w <= 0:
-        raise PlatformError(f"processing time w must be > 0, got {w!r}")
+        raise PlatformError(f"{ctx}processing time w must be > 0, got {w!r}")
     if c < 0 or (c == 0 and not allow_zero_latency):
-        raise PlatformError(f"link latency c must be > 0, got {c!r}")
+        raise PlatformError(
+            f"{ctx}link latency c must be > 0, got {c!r}"
+            + (
+                ""
+                if c != 0
+                else " (c == 0 models a computing master and needs the"
+                " allow_zero_latency escape hatch)"
+            )
+        )

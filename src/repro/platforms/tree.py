@@ -46,10 +46,7 @@ class Tree:
                 raise PlatformError("the master (node 0) cannot have an incoming link")
             if g.has_node(child) and g.in_degree(child) > 0:
                 raise PlatformError(f"node {child} has two parents")
-            try:
-                validate_cw(c, w)
-            except PlatformError as exc:
-                raise PlatformError(f"node {child}: {exc}") from None
+            validate_cw(c, w, where=f"node {child}")
             g.add_edge(parent, child, c=c)
             g.nodes[child]["w"] = w
         if g.number_of_nodes() < 2:

@@ -1,0 +1,49 @@
+"""repro.service — the cached scheduling service layer.
+
+Turns the solver registry into a long-lived, cache-backed service:
+
+* :mod:`repro.service.canon` — relabeling-invariant platform and problem
+  fingerprints plus canonical relabel maps;
+* :mod:`repro.service.store` — the content-addressed two-tier solution
+  store (in-memory LRU over optional SQLite), replay-validated on write;
+* :mod:`repro.service.engine` — :func:`cached_solve` (sync, used by the
+  batch runner) and :class:`ScheduleService` (asyncio loop with request
+  coalescing, behind ``repro serve``);
+* :mod:`repro.service.protocol` — the JSON-lines wire protocol and the
+  blocking :class:`ServiceClient`.
+"""
+
+from .canon import (
+    CanonError,
+    CanonicalForm,
+    canonical_form,
+    platform_fingerprint,
+    problem_fingerprint,
+)
+from .engine import (
+    CachedOutcome,
+    ScheduleService,
+    cache_key,
+    cached_solve,
+    rebind_solution,
+)
+from .protocol import PROTOCOL_VERSION, ServiceClient, ServiceError
+from .store import SolutionStore, StoreStats
+
+__all__ = [
+    "CachedOutcome",
+    "CanonError",
+    "CanonicalForm",
+    "PROTOCOL_VERSION",
+    "ScheduleService",
+    "ServiceClient",
+    "ServiceError",
+    "SolutionStore",
+    "StoreStats",
+    "cache_key",
+    "cached_solve",
+    "canonical_form",
+    "platform_fingerprint",
+    "problem_fingerprint",
+    "rebind_solution",
+]

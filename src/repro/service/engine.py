@@ -1,0 +1,342 @@
+"""The serving engine: cache-backed solving, sync and async.
+
+Request flow (both entry points)::
+
+    problem ──canonical_form──▶ fingerprint ──store.get──▶ hit? rebind, done
+                                      │ miss
+                                      ▼
+                         solve(canonical problem)
+                                      │
+                        store.put (replay-validated)
+                                      │
+                                      ▼
+                         rebind onto request platform
+
+*Rebinding* re-expresses a canonical-coordinates solution on the request's
+(isomorphic) platform by mapping processor keys through the canonical
+form's relabel maps; times are untouched, so the rebound schedule
+replay-validates bit-exactly on the relabeled platform.
+
+Two entry points share that flow:
+
+* :func:`cached_solve` — synchronous, used by the batch runner
+  (``run_batch(cache=...)``);
+* :class:`ScheduleService` — the asyncio front-end behind ``repro serve``:
+  a bounded worker pool for the solves, plus **request coalescing** —
+  concurrent requests with the same fingerprint await one in-flight solve
+  instead of each paying for it.
+
+Uncacheable requests (online mode — policy runs carry traces and
+callables; options with no canonical encoding) fall through to a direct
+:func:`repro.solve.solve` and are never stored.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Any, Optional
+
+from ..core.schedule import Schedule, TaskAssignment
+from ..solve import Problem, Solution, solve
+from .canon import CanonError, CanonicalForm, canonical_form, problem_fingerprint
+from .store import SolutionStore
+
+__all__ = [
+    "CachedOutcome",
+    "LINE_LIMIT",
+    "ScheduleService",
+    "cache_key",
+    "cached_solve",
+    "rebind_solution",
+]
+
+#: max bytes of one protocol line (asyncio's 64 KiB default chokes on big
+#: platforms — a large tree's solve request is one long JSON line).
+LINE_LIMIT = 16 * 2**20
+
+
+@dataclass(frozen=True)
+class CachedOutcome:
+    """One served answer plus how it was produced."""
+
+    solution: Solution
+    #: True when the answer came out of the store (either tier).
+    cached: bool
+    #: the problem fingerprint, or ``None`` for uncacheable requests.
+    fingerprint: Optional[str] = None
+    #: True when this request piggybacked on another's in-flight solve.
+    coalesced: bool = False
+
+
+def cache_key(problem: Problem) -> Optional[tuple[str, CanonicalForm]]:
+    """``(fingerprint, canonical form)`` of a cacheable problem, else ``None``.
+
+    Only offline problems are cacheable: online answers carry execution
+    traces (and possibly callable policies) whose identity is the *run*,
+    not the question."""
+    if problem.mode != "offline":
+        return None
+    try:
+        canon = canonical_form(problem.platform)
+        return problem_fingerprint(problem, canon), canon
+    except (CanonError, RecursionError):
+        # uncacheable must never mean unanswerable: solve directly instead
+        return None
+
+
+def rebind_solution(
+    solution: Solution, problem: Problem, canon: CanonicalForm
+) -> Solution:
+    """Re-express a canonical-coordinates ``solution`` on ``problem``'s
+    platform (isomorphic by construction): every task keeps its times and
+    its communication vector, only the processor key is mapped.
+
+    ``warm_caps`` are dropped (they index canonical legs) and solver
+    ``extra`` detail is kept as-is — it reports canonical coordinates.
+    """
+    if solution.schedule is None:
+        raise CanonError("cannot rebind a trace-only solution")
+    assignments = {
+        t: TaskAssignment(
+            t, canon.from_canonical[a.processor], a.start, a.comms
+        )
+        for t, a in solution.schedule.assignments.items()
+    }
+    return Solution(
+        problem,
+        Schedule(problem.platform, assignments),
+        solution.solver,
+        stats=dict(solution.stats),
+        warm_caps=None,
+        extra=dict(solution.extra),
+    )
+
+
+def _solve_canonical(
+    problem: Problem, fingerprint: str, canon: CanonicalForm, store: SolutionStore
+) -> Solution:
+    """Solve the canonical representative and admit it to the store."""
+    canonical_problem = replace(
+        problem, platform=canon.platform, warm_caps=None
+    )
+    solution = solve(canonical_problem)
+    store.put(fingerprint, solution)  # replay-validates before admitting
+    return solution
+
+
+def cached_solve(problem: Problem, store: SolutionStore) -> CachedOutcome:
+    """Answer ``problem`` through ``store``: hit → rebind, miss → solve the
+    canonical form, validate, store, rebind.  Uncacheable problems solve
+    directly (``fingerprint=None``)."""
+    key = cache_key(problem)
+    if key is None:
+        return CachedOutcome(solve(problem), cached=False)
+    fingerprint, canon = key
+    hit = store.get(fingerprint)
+    if hit is not None:
+        return CachedOutcome(
+            rebind_solution(hit, problem, canon), cached=True,
+            fingerprint=fingerprint,
+        )
+    solution = _solve_canonical(problem, fingerprint, canon, store)
+    return CachedOutcome(
+        rebind_solution(solution, problem, canon), cached=False,
+        fingerprint=fingerprint,
+    )
+
+
+class ScheduleService:
+    """Asyncio scheduling service over a :class:`SolutionStore`.
+
+    ``workers`` bounds the thread pool the (CPU-bound, GIL-releasing-free)
+    solves run on; the event loop itself only does cache lookups, rebinds
+    and protocol I/O.  Identical concurrent fingerprints are coalesced:
+    the first request solves, the rest await its future and rebind the
+    shared canonical solution onto their own platforms.
+    """
+
+    def __init__(
+        self, store: Optional[SolutionStore] = None, workers: int = 2
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"service needs >= 1 worker, got {workers}")
+        self.store = store if store is not None else SolutionStore()
+        self.workers = workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        self._inflight: dict[str, asyncio.Future] = {}
+        self.requests = 0
+        self.coalesced = 0
+        self.errors = 0
+
+    # -- core ---------------------------------------------------------------
+
+    async def submit(self, problem: Problem) -> CachedOutcome:
+        """Serve one problem (see class docstring for the flow)."""
+        loop = asyncio.get_running_loop()
+        self.requests += 1
+        key = cache_key(problem)
+        try:
+            if key is None:
+                solution = await loop.run_in_executor(self._pool, solve, problem)
+                return CachedOutcome(solution, cached=False)
+            fingerprint, canon = key
+            hit = self.store.get(fingerprint)
+            if hit is not None:
+                return CachedOutcome(
+                    rebind_solution(hit, problem, canon), cached=True,
+                    fingerprint=fingerprint,
+                )
+            inflight = self._inflight.get(fingerprint)
+            if inflight is not None:
+                self.coalesced += 1
+                solution = await asyncio.shield(inflight)
+                return CachedOutcome(
+                    rebind_solution(solution, problem, canon), cached=False,
+                    fingerprint=fingerprint, coalesced=True,
+                )
+            future: asyncio.Future = loop.create_future()
+            self._inflight[fingerprint] = future
+            try:
+                solution = await loop.run_in_executor(
+                    self._pool, _solve_canonical,
+                    problem, fingerprint, canon, self.store,
+                )
+            except BaseException as exc:
+                if not future.done():
+                    future.set_exception(exc)
+                    future.exception()  # consumed: no never-retrieved warning
+                raise
+            else:
+                if not future.done():
+                    future.set_result(solution)
+            finally:
+                self._inflight.pop(fingerprint, None)
+            return CachedOutcome(
+                rebind_solution(solution, problem, canon), cached=False,
+                fingerprint=fingerprint,
+            )
+        except Exception:
+            self.errors += 1
+            raise
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "coalesced": self.coalesced,
+            "errors": self.errors,
+            "inflight": len(self._inflight),
+            "workers": self.workers,
+            "store": self.store.stats.to_dict(),
+        }
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+        self.store.close()
+
+    # -- serving loops (JSON-lines protocol) --------------------------------
+
+    async def handle_connection(self, readline, send) -> None:
+        """Drive one JSON-lines connection: ``readline`` is an async
+        zero-arg callable yielding one line (empty at EOF), ``send`` an
+        *async* callable taking one response dict (awaited per response, so
+        transport backpressure applies).  Requests are answered
+        concurrently (a pipelined client is what coalescing exists for);
+        responses carry the request ``id`` so order does not matter.
+
+        ``op:"shutdown"`` lets in-flight answers finish, acks, and ends
+        the connection (over stdio that ends the serving process)."""
+        import json as _json
+        import sys
+
+        from .protocol import handle_request  # local import: protocol uses engine
+
+        pending: set[asyncio.Task] = set()
+
+        async def deliver(response: dict) -> None:
+            try:
+                await send(response)
+            except Exception as exc:  # noqa: BLE001 - client went away mid-send
+                print(f"repro serve: dropped response for dead client: {exc}",
+                      file=sys.stderr)
+
+        async def respond(raw_line: str) -> None:
+            await deliver(await handle_request(self, raw_line))
+
+        while True:
+            try:
+                line = await readline()
+            except ValueError as exc:
+                # a request line past the reader's limit: framing is lost,
+                # so answer what we can and drop the connection cleanly
+                await deliver({"id": None, "ok": False,
+                               "error": f"request line too long: {exc}",
+                               "error_kind": "bad_request"})
+                break
+            if not line:
+                break
+            text = line.decode() if isinstance(line, bytes) else line
+            if not text.strip():
+                continue
+            if '"shutdown"' in text:
+                try:
+                    request = _json.loads(text)
+                except ValueError:
+                    request = None
+                if isinstance(request, dict) and request.get("op") == "shutdown":
+                    if pending:
+                        await asyncio.gather(*pending)
+                    await deliver({"id": request.get("id"), "ok": True,
+                                   "shutdown": True})
+                    break
+            # respond() never raises (deliver swallows transport errors),
+            # so a discarded done task cannot hide an unretrieved exception
+            task = asyncio.ensure_future(respond(text))
+            pending.add(task)
+            task.add_done_callback(pending.discard)
+        if pending:
+            await asyncio.gather(*pending)
+
+    async def serve_stdio(self) -> None:
+        """Serve the protocol on stdin/stdout (the ``repro serve`` default)."""
+        import json as _json
+        import sys
+
+        loop = asyncio.get_running_loop()
+        reader = asyncio.StreamReader(limit=LINE_LIMIT)
+        await loop.connect_read_pipe(
+            lambda: asyncio.StreamReaderProtocol(reader), sys.stdin
+        )
+
+        async def send(response: dict) -> None:
+            sys.stdout.write(_json.dumps(response) + "\n")
+            sys.stdout.flush()
+
+        await self.handle_connection(reader.readline, send)
+
+    async def serve_tcp(
+        self, host: str = "127.0.0.1", port: int = 0, ready=None
+    ) -> None:
+        """Serve the protocol over TCP; ``ready(actual_port)`` fires once
+        listening (``port=0`` binds an ephemeral port).  ``op:"shutdown"``
+        closes its own connection; the server keeps listening."""
+        import json as _json
+
+        async def client(reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+            async def send(response: dict) -> None:
+                writer.write((_json.dumps(response) + "\n").encode())
+                await writer.drain()  # per-response backpressure
+            try:
+                await self.handle_connection(reader.readline, send)
+            finally:
+                writer.close()
+
+        server = await asyncio.start_server(client, host, port, limit=LINE_LIMIT)
+        if ready is not None:
+            ready(server.sockets[0].getsockname()[1])
+        async with server:
+            await server.serve_forever()

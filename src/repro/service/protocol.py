@@ -1,0 +1,252 @@
+"""JSON-lines wire protocol of the scheduling service, plus its client.
+
+One request per line in, one response per line out; responses carry the
+request ``id`` so a pipelined client can match them out of order (the
+engine answers concurrently — that concurrency is what request
+coalescing feeds on).
+
+Requests::
+
+    {"id": "r1", "op": "solve", "problem": { ...problem_to_dict... }}
+    {"id": "r2", "op": "stats"}
+    {"id": "r3", "op": "ping"}
+    {"id": "r4", "op": "shutdown"}   # drain in-flight answers, ack
+                                     # {"ok": true, "shutdown": true} and
+                                     # close this connection (over stdio
+                                     # that ends the serving process; a TCP
+                                     # server keeps listening for others)
+
+Solve responses::
+
+    {"id": "r1", "ok": true, "cached": false, "coalesced": false,
+     "fingerprint": "…", "solution": { ...solution_to_dict... }}
+
+Errors come back as ``{"ok": false, "error": "…", "error_kind": k}`` with
+``k`` ∈ ``no_solver`` / ``infeasible`` / ``validation`` / ``bad_request`` /
+``error`` — the same taxonomy the CLI maps to exit codes.
+
+:class:`ServiceClient` is the synchronous counterpart used by tests and
+the CI smoke job: it spawns ``repro serve`` as a subprocess (stdio
+transport) or connects to a TCP endpoint, and speaks the protocol
+blockingly, one request at a time.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from typing import Any, Mapping, Optional
+
+from ..core.types import InfeasibleScheduleError, ReproError
+from ..io.json_io import problem_from_dict, problem_to_dict, solution_from_dict, solution_to_dict
+from ..solve import Problem, Solution
+from ..solve.problem import NoSolverError, ValidationError
+
+PROTOCOL_VERSION = 1
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ServiceClient",
+    "ServiceError",
+    "error_kind_of",
+    "handle_request",
+    "smoke",
+]
+
+
+class ServiceError(ReproError):
+    """An error response from the service, re-raised client-side."""
+
+    def __init__(self, message: str, kind: str = "error"):
+        self.kind = kind
+        super().__init__(message)
+
+
+def error_kind_of(exc: BaseException) -> str:
+    """The protocol's error taxonomy (shared with the CLI's exit codes)."""
+    if isinstance(exc, NoSolverError):
+        return "no_solver"
+    if isinstance(exc, ValidationError):
+        return "validation"
+    if isinstance(exc, InfeasibleScheduleError):
+        return "infeasible"
+    return "error"
+
+
+async def handle_request(service: Any, raw_line: str) -> dict[str, Any]:
+    """Decode one request line, serve it, encode the response dict."""
+    try:
+        request = json.loads(raw_line)
+        if not isinstance(request, dict):
+            raise ValueError("request must be a JSON object")
+    except ValueError as exc:
+        return {"id": None, "ok": False, "error": f"malformed request: {exc}",
+                "error_kind": "bad_request"}
+    rid = request.get("id")
+    op = request.get("op", "solve")
+    if op == "ping":
+        return {"id": rid, "ok": True, "pong": True,
+                "protocol": PROTOCOL_VERSION}
+    if op == "stats":
+        return {"id": rid, "ok": True, "stats": service.stats()}
+    if op != "solve":
+        return {"id": rid, "ok": False, "error": f"unknown op {op!r}",
+                "error_kind": "bad_request"}
+    try:
+        problem = problem_from_dict(request["problem"])
+    except Exception as exc:  # noqa: BLE001 - any bad payload is the client's fault
+        return {"id": rid, "ok": False,
+                "error": f"bad problem payload: {type(exc).__name__}: {exc}",
+                "error_kind": "bad_request"}
+    try:
+        outcome = await service.submit(problem)
+    except Exception as exc:  # noqa: BLE001 - one bad request must not kill the loop
+        return {"id": rid, "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+                "error_kind": error_kind_of(exc)}
+    return {
+        "id": rid,
+        "ok": True,
+        "cached": outcome.cached,
+        "coalesced": outcome.coalesced,
+        "fingerprint": outcome.fingerprint,
+        "solution": solution_to_dict(outcome.solution),
+    }
+
+
+class ServiceClient:
+    """Blocking JSON-lines client (tests, smoke checks, scripting).
+
+    Construct via :meth:`spawn` (fresh ``repro serve`` subprocess over
+    stdio) or :meth:`connect` (TCP).  Use as a context manager; one
+    request in flight at a time."""
+
+    def __init__(self, reader, writer, proc: Optional[subprocess.Popen] = None,
+                 sock=None):
+        self._reader = reader
+        self._writer = writer
+        self._proc = proc
+        self._sock = sock
+        self._next_id = 0
+
+    # -- transports ----------------------------------------------------------
+
+    @classmethod
+    def spawn(
+        cls,
+        store_path: Optional[str] = None,
+        workers: int = 2,
+        capacity: int = 256,
+    ) -> "ServiceClient":
+        """Launch ``repro serve`` (stdio transport) and connect to it."""
+        cmd = [sys.executable, "-m", "repro", "serve",
+               "--workers", str(workers), "--capacity", str(capacity)]
+        if store_path is not None:
+            cmd += ["--store", str(store_path)]
+        proc = subprocess.Popen(
+            cmd, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True,
+        )
+        return cls(proc.stdout, proc.stdin, proc)
+
+    @classmethod
+    def connect(cls, host: str, port: int) -> "ServiceClient":
+        """Connect to a ``repro serve --tcp`` endpoint."""
+        import socket
+
+        sock = socket.create_connection((host, port))
+        return cls(sock.makefile("r"), sock.makefile("w"), sock=sock)
+
+    # -- protocol ------------------------------------------------------------
+
+    def request(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """Send one request dict, block for its response dict."""
+        self._next_id += 1
+        message = {"id": f"c{self._next_id}", **payload}
+        self._writer.write(json.dumps(message) + "\n")
+        self._writer.flush()
+        line = self._reader.readline()
+        if not line:
+            detail = ""
+            if self._proc is not None and self._proc.poll() is not None:
+                stderr = self._proc.stderr.read() if self._proc.stderr else ""
+                detail = f" (server exited {self._proc.returncode}: {stderr.strip()})"
+            raise ServiceError(f"connection closed by server{detail}")
+        return json.loads(line)
+
+    def solve(self, problem: Problem) -> tuple[Solution, dict[str, Any]]:
+        """Solve ``problem`` remotely; returns ``(solution, meta)`` where
+        meta holds ``cached`` / ``coalesced`` / ``fingerprint``."""
+        response = self.request({"op": "solve",
+                                 "problem": problem_to_dict(problem)})
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unknown service error"),
+                               response.get("error_kind", "error"))
+        meta = {k: response.get(k) for k in ("cached", "coalesced", "fingerprint")}
+        return solution_from_dict(response["solution"]), meta
+
+    def stats(self) -> dict[str, Any]:
+        response = self.request({"op": "stats"})
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "stats failed"))
+        return response["stats"]
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def shutdown(self) -> bool:
+        """Ask the server to drain, ack, and close this connection."""
+        return bool(self.request({"op": "shutdown"}).get("shutdown"))
+
+    def close(self) -> None:
+        for resource in (self._writer, self._reader, self._sock):
+            if resource is None:
+                continue
+            try:
+                resource.close()
+            except Exception:  # noqa: BLE001 - already-dead transport is fine
+                pass
+        if self._proc is not None:
+            try:
+                self._proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self._proc.kill()
+                self._proc.wait()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def smoke() -> dict[str, Any]:
+    """End-to-end liveness check (the CI smoke job): spawn ``repro serve``,
+    issue three requests — identical, identical again (must be a cache
+    hit), and a leg-relabeled isomorphic platform (must also hit) — and
+    assert the answers agree.  Returns a summary dict."""
+    from ..platforms.chain import Chain
+    from ..platforms.spider import Spider
+
+    legs = [Chain([2, 3], [3, 5]), Chain([1], [4]), Chain([2, 2], [2, 6])]
+    spider = Spider(legs)
+    relabeled = Spider([legs[2], legs[0], legs[1]])
+    with ServiceClient.spawn(workers=2) as client:
+        assert client.ping(), "service did not answer ping"
+        sol1, meta1 = client.solve(Problem(spider, "makespan", n=16))
+        assert meta1["cached"] is False, "first request cannot be a hit"
+        sol2, meta2 = client.solve(Problem(spider, "makespan", n=16))
+        assert meta2["cached"] is True, "second identical request must hit"
+        sol3, meta3 = client.solve(Problem(relabeled, "makespan", n=16))
+        assert meta3["cached"] is True, "relabeled isomorphic request must hit"
+        assert sol1.makespan == sol2.makespan == sol3.makespan
+        assert meta1["fingerprint"] == meta2["fingerprint"] == meta3["fingerprint"]
+        sol3.validate()  # bit-exact replay on the *relabeled* platform
+        stats = client.stats()
+    return {
+        "requests": 3,
+        "hits": stats["store"]["hits"],
+        "makespan": sol1.makespan,
+        "fingerprint": meta1["fingerprint"],
+    }

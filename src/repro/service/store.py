@@ -1,0 +1,212 @@
+"""Content-addressed solution store: in-memory LRU over persistent SQLite.
+
+Keys are problem fingerprints (:func:`repro.service.canon.problem_fingerprint`);
+values are serialised :class:`~repro.solve.problem.Solution` records in
+**canonical platform coordinates** (the service solves the canonical
+representative, so one entry serves every relabeled-isomorphic request).
+
+Two tiers:
+
+* a bounded in-memory LRU of live ``Solution`` objects — the hot path,
+  no deserialisation on hit;
+* an optional SQLite file of JSON payloads (``path=None`` disables it) —
+  survives restarts, backs multi-process batch runs, and re-feeds the
+  memory tier on miss.
+
+**Nothing corrupt is ever served**: every write replay-validates the
+solution through the discrete-event simulator
+(:meth:`~repro.solve.problem.Solution.validate`) before either tier
+accepts it; a solution that fails replay raises and is not stored.
+
+All operations are thread-safe (one lock; the SQLite connection is shared
+across threads) and counted: hits per tier, misses, writes, memory
+evictions and validation rejections are exposed via :meth:`SolutionStore.stats`.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from ..io.json_io import solution_from_dict, solution_to_dict
+from ..solve.problem import Solution
+
+__all__ = ["SolutionStore", "StoreStats"]
+
+
+@dataclass
+class StoreStats:
+    """Operation counters of one :class:`SolutionStore`."""
+
+    memory_hits: int = 0
+    sqlite_hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    evictions: int = 0
+    rejected: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.sqlite_hits
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "memory_hits": self.memory_hits,
+            "sqlite_hits": self.sqlite_hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "evictions": self.evictions,
+            "rejected": self.rejected,
+            "hit_rate": round(self.hit_rate(), 4),
+        }
+
+
+@dataclass
+class SolutionStore:
+    """Two-tier fingerprint → solution cache (see module docstring).
+
+    ``path=None`` keeps the store memory-only; a path (or ``":memory:"``)
+    adds the persistent SQLite tier.  ``capacity`` bounds the memory tier
+    (LRU eviction; evicted entries stay in SQLite when it exists).
+    ``validate_on_write=False`` is an escape hatch for benchmarks that
+    time the raw store; the service never uses it.
+    """
+
+    path: Optional[Union[str, Path]] = None
+    capacity: int = 256
+    validate_on_write: bool = True
+    stats: StoreStats = field(default_factory=StoreStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(f"store capacity must be >= 1, got {self.capacity}")
+        self._lock = threading.Lock()
+        self._memory: OrderedDict[str, Solution] = OrderedDict()
+        self._db: Optional[sqlite3.Connection] = None
+        if self.path is not None:
+            # one shared connection; our lock serialises access, and the
+            # busy timeout rides out other *processes* on the same file
+            self._db = sqlite3.connect(
+                str(self.path), check_same_thread=False, timeout=30.0
+            )
+            with self._db:
+                self._db.execute(
+                    "CREATE TABLE IF NOT EXISTS solutions ("
+                    " fingerprint TEXT PRIMARY KEY,"
+                    " solver TEXT NOT NULL,"
+                    " payload TEXT NOT NULL)"
+                )
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(self, fingerprint: str) -> Optional[Solution]:
+        """The cached canonical solution under ``fingerprint``, or ``None``.
+
+        A SQLite hit is deserialised and promoted into the memory tier.
+        Callers must not mutate the returned object (rebinding copies)."""
+        with self._lock:
+            sol = self._memory.get(fingerprint)
+            if sol is not None:
+                self._memory.move_to_end(fingerprint)
+                self.stats.memory_hits += 1
+                return sol
+            if self._db is not None:
+                row = self._db.execute(
+                    "SELECT payload FROM solutions WHERE fingerprint = ?",
+                    (fingerprint,),
+                ).fetchone()
+                if row is not None:
+                    sol = solution_from_dict(json.loads(row[0]))
+                    self.stats.sqlite_hits += 1
+                    self._admit(fingerprint, sol)
+                    return sol
+            self.stats.misses += 1
+            return None
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            if fingerprint in self._memory:
+                return True
+            if self._db is None:
+                return False
+            row = self._db.execute(
+                "SELECT 1 FROM solutions WHERE fingerprint = ?", (fingerprint,)
+            ).fetchone()
+            return row is not None
+
+    def __len__(self) -> int:
+        """Distinct entries across both tiers."""
+        with self._lock:
+            if self._db is None:
+                return len(self._memory)
+            (count,) = self._db.execute("SELECT COUNT(*) FROM solutions").fetchone()
+            return max(count, len(self._memory))
+
+    # -- write ---------------------------------------------------------------
+
+    def put(self, fingerprint: str, solution: Solution) -> None:
+        """Admit ``solution`` (canonical coordinates) under ``fingerprint``.
+
+        Replay-validates first (unless ``validate_on_write`` is off): the
+        schedule is re-executed through the simulator and its makespan
+        checked bit-exactly.  :class:`~repro.solve.problem.ValidationError`
+        propagates and the store stays unchanged."""
+        if self.validate_on_write:
+            try:
+                solution.validate()
+            except Exception:
+                with self._lock:
+                    self.stats.rejected += 1
+                raise
+        payload = json.dumps(solution_to_dict(solution), sort_keys=True)
+        with self._lock:
+            self.stats.writes += 1
+            if self._db is not None:
+                with self._db:
+                    self._db.execute(
+                        "INSERT OR REPLACE INTO solutions"
+                        " (fingerprint, solver, payload) VALUES (?, ?, ?)",
+                        (fingerprint, solution.solver, payload),
+                    )
+            self._admit(fingerprint, solution)
+
+    def _admit(self, fingerprint: str, solution: Solution) -> None:
+        """Insert into the memory LRU, evicting the coldest past capacity.
+        Caller holds the lock."""
+        self._memory[fingerprint] = solution
+        self._memory.move_to_end(fingerprint)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def clear_memory(self) -> None:
+        """Drop the memory tier (SQLite untouched) — forces tier-2 reads."""
+        with self._lock:
+            self._memory.clear()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._db is not None:
+                self._db.close()
+                self._db = None
+
+    def __enter__(self) -> "SolutionStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

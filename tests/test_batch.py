@@ -298,3 +298,81 @@ class TestTreeScenarios:
         ])
         assert not bad.ok and "wat" in bad.error
         assert good.ok
+
+
+class TestCachedBatch:
+    """run_batch(cache=...): offline scenarios served from the store."""
+
+    def _scenarios(self):
+        from repro.platforms.chain import Chain
+        from repro.platforms.spider import Spider
+
+        legs = [Chain([2, 3], [3, 5]), Chain([1], [4])]
+        a = platform_to_dict(Spider(legs))
+        b = platform_to_dict(Spider(legs[::-1]))  # relabeled isomorph
+        return [
+            Scenario("a-mk", a, "makespan", n=8),
+            Scenario("b-mk", b, "makespan", n=8),
+            Scenario("a-dl", a, "deadline", t_lim=30),
+            Scenario("on", a, "online", n=4,
+                     options={"policy": "round_robin"}),
+        ]
+
+    def test_live_store_serial(self):
+        from repro.service import SolutionStore
+
+        store = SolutionStore()
+        results = run_batch(self._scenarios(), cache=store, validate=True)
+        by_id = {r.scenario_id: r for r in results}
+        assert all(r.ok for r in results)
+        # the relabeled spider is a hit; answers agree bit-exactly
+        assert by_id["a-mk"].cached is False
+        assert by_id["b-mk"].cached is True
+        assert by_id["b-mk"].makespan == by_id["a-mk"].makespan
+        # online scenarios never consult the cache
+        assert by_id["on"].cached is None
+        assert store.stats.writes == 2  # a-mk + a-dl
+
+    def test_results_identical_with_and_without_cache(self):
+        from repro.service import SolutionStore
+
+        scenarios = self._scenarios()[:3]  # offline only (online re-runs sim)
+        plain = run_batch(scenarios)
+        cached = run_batch(scenarios, cache=SolutionStore())
+        for p, c in zip(plain, cached):
+            assert (p.scenario_id, p.makespan, p.n_tasks) == (
+                c.scenario_id, c.makespan, c.n_tasks
+            )
+
+    def test_path_cache_shared_across_runs(self, tmp_path):
+        path = tmp_path / "batch.sqlite"
+        first = run_batch(self._scenarios(), cache=path)
+        second = run_batch(self._scenarios(), cache=path)
+        assert sum(bool(r.cached) for r in first) == 1
+        assert sum(bool(r.cached) for r in second) == 3  # all offline rows
+        assert all(r.ok for r in first + second)
+
+    def test_process_pool_rejects_live_store(self):
+        from repro.service import SolutionStore
+
+        runner = BatchRunner(workers=2, mode="process",
+                             cache=SolutionStore())
+        with pytest.raises(BatchError, match="store \\*path\\*"):
+            runner.run(self._scenarios())
+
+    def test_process_pool_accepts_path(self, tmp_path):
+        results = run_batch(self._scenarios(), workers=2, mode="process",
+                            cache=str(tmp_path / "proc.sqlite"))
+        assert all(r.ok for r in results)
+
+    def test_cached_flag_roundtrips_results_json(self, tmp_path):
+        from repro.service import SolutionStore
+
+        results = run_batch(self._scenarios(), cache=SolutionStore())
+        path = save_results(results, tmp_path / "r.json")
+        loaded = json.loads(path.read_text())["results"]
+        by_id = {r["scenario_id"]: r for r in loaded}
+        assert by_id["b-mk"]["cached"] is True
+        assert "cached" not in by_id["on"]
+        back = [ScenarioResult.from_dict(r) for r in loaded]
+        assert [r.cached for r in back] == [r.cached for r in results]

@@ -268,3 +268,125 @@ class TestSolverRegistryHelp:
         out = capsys.readouterr().out
         assert "2/2 scenarios ok" in out
         assert "tree-mk" in out and "tree-dl" in out
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["--version"])
+        assert exit_info.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        # semantic-version shaped: at least major.minor with digits
+        version = out.split()[1]
+        parts = version.split(".")
+        assert len(parts) >= 2 and parts[0].isdigit()
+
+
+class TestExitCodes:
+    """The CLI's documented error exit codes, pinned."""
+
+    def test_constants_are_distinct_and_documented(self):
+        from repro.cli import (
+            EXIT_FAILURE,
+            EXIT_INFEASIBLE,
+            EXIT_NO_SOLVER,
+            EXIT_OK,
+            EXIT_USAGE,
+            EXIT_VALIDATION,
+        )
+
+        codes = [EXIT_OK, EXIT_FAILURE, EXIT_USAGE, EXIT_NO_SOLVER,
+                 EXIT_INFEASIBLE, EXIT_VALIDATION]
+        assert codes == [0, 1, 2, 3, 4, 5]
+
+    def test_no_solver_registered_exits_3(self, capsys):
+        from repro.solve.registry import _REGISTRY
+
+        saved = _REGISTRY.pop(("offline", Chain))
+        try:
+            rc = main(["chain", "--c", "2,3", "--w", "3,5", "-n", "5"])
+        finally:
+            _REGISTRY[("offline", Chain)] = saved
+        assert rc == 3
+        assert "no registered solver" in capsys.readouterr().err
+
+    def test_infeasible_exits_4(self, capsys, monkeypatch):
+        from repro.core.types import InfeasibleScheduleError
+
+        def explode(problem):
+            raise InfeasibleScheduleError(["port overlap at t=3"])
+
+        monkeypatch.setattr("repro.cli.solve", explode)
+        rc = main(["chain", "--c", "2,3", "--w", "3,5", "-n", "5"])
+        assert rc == 4
+        assert "infeasible" in capsys.readouterr().err
+
+    def test_validation_failed_exits_5(self, capsys, monkeypatch):
+        from repro.solve.problem import ValidationError
+
+        def explode(problem):
+            raise ValidationError("makespan drifted under replay")
+
+        monkeypatch.setattr("repro.cli.solve", explode)
+        rc = main(["chain", "--c", "2,3", "--w", "3,5", "-n", "5"])
+        assert rc == 5
+        assert "drifted" in capsys.readouterr().err
+
+
+class TestBatchCache:
+    def _scenario_file(self, tmp_path):
+        import json
+
+        from repro.io.json_io import platform_to_dict
+        from repro.platforms.spider import Spider
+
+        legs = [Chain([2, 3], [3, 5]), Chain([1], [4])]
+        pdict = platform_to_dict(Spider(legs))
+        relabeled = platform_to_dict(Spider(legs[::-1]))
+        path = tmp_path / "scenarios.json"
+        path.write_text(json.dumps({
+            "schema": 1,
+            "scenarios": [
+                {"id": "mk-a", "platform": pdict, "kind": "makespan", "n": 8},
+                {"id": "mk-b", "platform": relabeled, "kind": "makespan",
+                 "n": 8},
+                {"id": "dl-a", "platform": pdict, "kind": "deadline",
+                 "t_lim": 30},
+            ],
+        }))
+        return path
+
+    def test_cache_flag_reports_hits(self, capsys, tmp_path):
+        path = self._scenario_file(tmp_path)
+        cache = tmp_path / "cache.sqlite"
+        assert main(["batch", "--scenarios", str(path),
+                     "--cache", str(cache), "--validate"]) == 0
+        out = capsys.readouterr().out
+        # mk-b is isomorphic to mk-a: served from cache on the first run
+        assert "(1 cache hits)" in out
+        # second run: everything is in the persistent store
+        assert main(["batch", "--scenarios", str(path),
+                     "--cache", str(cache), "--validate"]) == 0
+        assert "(3 cache hits)" in capsys.readouterr().out
+
+    def test_cached_flag_lands_in_results_json(self, tmp_path):
+        import json
+
+        path = self._scenario_file(tmp_path)
+        out_path = tmp_path / "results.json"
+        assert main(["batch", "--scenarios", str(path),
+                     "--cache", str(tmp_path / "c.sqlite"),
+                     "--out", str(out_path)]) == 0
+        results = {r["scenario_id"]: r
+                   for r in json.loads(out_path.read_text())["results"]}
+        assert results["mk-a"]["cached"] is False
+        assert results["mk-b"]["cached"] is True
+
+
+class TestServeParser:
+    def test_serve_help_mentions_protocol(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--help"])
+        out = capsys.readouterr().out
+        assert "--store" in out and "--tcp" in out and "--workers" in out

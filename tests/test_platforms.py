@@ -293,3 +293,53 @@ class TestPresets:
         sp = seti_like_spider()
         assert sp.arity == 6
         assert sp.total_processors == 9
+
+
+class TestValidateCwMessages:
+    """validate_cw names the offending owner and field (PR 4 satellite)."""
+
+    def test_where_prefix_names_the_owner(self):
+        from repro.platforms.spec import validate_cw
+
+        with pytest.raises(PlatformError, match=r"processor 3: link latency c"):
+            validate_cw(-1, 2, where="processor 3")
+        with pytest.raises(PlatformError, match=r"processor 3: processing time w"):
+            validate_cw(1, 0, where="processor 3")
+
+    def test_field_named_without_where(self):
+        from repro.platforms.spec import validate_cw
+
+        with pytest.raises(PlatformError, match=r"^link latency c must be > 0"):
+            validate_cw(0, 2)
+        with pytest.raises(PlatformError, match=r"^processing time w must be a number"):
+            validate_cw(1, "fast")
+
+    def test_chain_points_at_offending_processor(self):
+        with pytest.raises(PlatformError, match=r"processor 2: processing time w"):
+            Chain([2, 3], [3, -5])
+
+    def test_tree_points_at_offending_node(self):
+        from repro.platforms.tree import Tree
+
+        with pytest.raises(PlatformError, match=r"node 7: link latency c"):
+            Tree([(0, 1, 2, 3), (1, 7, -1, 4)])
+
+    def test_zero_latency_edge(self):
+        from repro.platforms.spec import validate_cw
+
+        # rejected by default, with the escape hatch named in the message
+        with pytest.raises(PlatformError, match=r"allow_zero_latency"):
+            validate_cw(0, 2)
+        # permitted through the hatch (the computing-master model) ...
+        validate_cw(0, 2, allow_zero_latency=True)
+        # ... but a *negative* latency stays rejected either way
+        with pytest.raises(PlatformError):
+            validate_cw(-1, 2, allow_zero_latency=True)
+
+    def test_chain_zero_latency_only_for_first_processor(self):
+        # first processor: the computing-master spelling is allowed
+        chain = Chain([0, 3], [4, 5])
+        assert chain.latency(1) == 0
+        # later processors: zero latency is a modelling error, named as such
+        with pytest.raises(PlatformError, match=r"processor 2: link latency c"):
+            Chain([2, 0], [3, 5])

@@ -1,0 +1,364 @@
+"""The serving engine: cached_solve, coalescing, protocol, client, CLI.
+
+The acceptance-critical test is
+``TestCachedSolve::test_relabeled_isomorphic_hit_replays_bit_exactly``:
+for every registered offline solver, a relabeled-isomorphic platform must
+be served from cache and the rebound solution must replay-validate
+bit-exactly on the *relabeled* platform.
+"""
+
+import asyncio
+import json
+import random
+
+import pytest
+
+from repro.platforms.chain import Chain
+from repro.platforms.generators import random_tree
+from repro.platforms.spider import Spider
+from repro.platforms.star import Star
+from repro.platforms.tree import Tree
+from repro.service import (
+    ScheduleService,
+    ServiceClient,
+    ServiceError,
+    SolutionStore,
+    cached_solve,
+)
+from repro.service.protocol import handle_request, smoke
+from repro.solve import Problem, registered_solvers, solve
+
+
+def _relabel(platform, seed: int = 7):
+    """A randomly relabeled isomorphic copy of ``platform``."""
+    rng = random.Random(seed)
+    if isinstance(platform, Chain):
+        return platform  # a chain has no relabeling freedom
+    if isinstance(platform, Star):
+        children = list(platform.children)
+        rng.shuffle(children)
+        return Star(children)
+    if isinstance(platform, Spider):
+        legs = list(platform.legs)
+        rng.shuffle(legs)
+        return Spider(legs)
+    if isinstance(platform, Tree):
+        nodes = platform.workers
+        new_ids = rng.sample(range(1, 10 * (len(nodes) + 2)), len(nodes))
+        perm = {0: 0, **dict(zip(nodes, new_ids))}
+        edges = [
+            (perm[platform.parent(v)], perm[v],
+             platform.latency(v), platform.work(v))
+            for v in nodes
+        ]
+        rng.shuffle(edges)
+        return Tree(edges)
+    raise AssertionError(f"unhandled platform {type(platform)}")
+
+
+def _platform_for(solver):
+    """A representative platform instance for a registered solver."""
+    return {
+        "chain": Chain([2, 3, 1], [3, 5, 2]),
+        "star": Star([(2, 3), (1, 5), (3, 2)]),
+        "spider": Spider([Chain([2, 3], [3, 5]), Chain([1], [4]),
+                          Chain([2, 2], [2, 6])]),
+        "tree": random_tree(6, seed=11),
+    }[solver.name]
+
+
+class TestCachedSolve:
+    @pytest.mark.parametrize(
+        "solver", registered_solvers("offline"), ids=lambda s: s.name
+    )
+    def test_relabeled_isomorphic_hit_replays_bit_exactly(self, solver):
+        platform = _platform_for(solver)
+        store = SolutionStore()
+        cold = cached_solve(Problem(platform, "makespan", n=10), store)
+        assert not cold.cached
+        relabeled = _relabel(platform)
+        warm = cached_solve(Problem(relabeled, "makespan", n=10), store)
+        assert warm.cached, f"{solver.name}: relabeled platform must hit"
+        assert store.stats.hits == 1 and store.stats.writes == 1
+        # the served schedule lives on the *relabeled* platform ...
+        assert warm.solution.schedule.platform is relabeled
+        # ... matches the cold answer bit-exactly ...
+        assert warm.solution.makespan == cold.solution.makespan
+        assert warm.solution.n_tasks == cold.solution.n_tasks
+        # ... and replay-validates on it (simulator re-execution)
+        warm.solution.validate()
+
+    @pytest.mark.parametrize(
+        "solver", registered_solvers("offline"), ids=lambda s: s.name
+    )
+    def test_deadline_problems_cache_too(self, solver):
+        platform = _platform_for(solver)
+        t_lim = solve(Problem(platform, "makespan", n=6)).makespan
+        store = SolutionStore()
+        cold = cached_solve(Problem(platform, "deadline", t_lim=t_lim), store)
+        warm = cached_solve(
+            Problem(_relabel(platform), "deadline", t_lim=t_lim), store
+        )
+        assert warm.cached
+        assert warm.solution.n_tasks == cold.solution.n_tasks
+        warm.solution.validate()
+
+    def test_different_questions_do_not_collide(self):
+        chain = Chain([2, 3], [3, 5])
+        store = SolutionStore()
+        a = cached_solve(Problem(chain, "makespan", n=5), store)
+        b = cached_solve(Problem(chain, "makespan", n=6), store)
+        assert not b.cached
+        assert a.fingerprint != b.fingerprint
+
+    def test_online_mode_bypasses_cache(self):
+        chain = Chain([2, 3], [3, 5])
+        store = SolutionStore()
+        out = cached_solve(
+            Problem(chain, "makespan", n=4, mode="online",
+                    options={"policy": "round_robin"}),
+            store,
+        )
+        assert out.fingerprint is None
+        assert store.stats.requests == 0 and len(store) == 0
+        assert out.solution.trace is not None
+
+    def test_cached_solution_is_a_fresh_rebind(self):
+        """Hits must not alias the stored object's mutable parts."""
+        chain = Chain([2, 3], [3, 5])
+        store = SolutionStore()
+        a = cached_solve(Problem(chain, "makespan", n=5), store)
+        b = cached_solve(Problem(chain, "makespan", n=5), store)
+        assert b.cached
+        assert b.solution is not a.solution
+        assert b.solution.schedule is not a.solution.schedule
+        b.solution.stats["poked"] = True
+        assert "poked" not in store.get(b.fingerprint).stats
+
+
+class TestServiceEngine:
+    def test_coalescing_single_solve(self):
+        async def go():
+            service = ScheduleService(store=SolutionStore(), workers=2)
+            try:
+                legs = [Chain([2, 3], [3, 5]), Chain([1], [4])]
+                platforms = [Spider(legs), Spider(legs[::-1])] * 3
+                outs = await asyncio.gather(
+                    *(service.submit(Problem(p, "makespan", n=24))
+                      for p in platforms)
+                )
+            finally:
+                service._pool.shutdown(wait=True)
+            return service, outs
+
+        service, outs = asyncio.run(go())
+        assert service.store.stats.writes == 1, "one in-flight solve total"
+        assert sum(o.coalesced for o in outs) == len(outs) - 1
+        makespans = {o.solution.makespan for o in outs}
+        assert len(makespans) == 1
+        for o in outs:
+            o.solution.validate()
+
+    def test_sequential_requests_hit_the_store(self):
+        async def go():
+            service = ScheduleService(store=SolutionStore(), workers=1)
+            try:
+                chain = Chain([2, 3], [3, 5])
+                first = await service.submit(Problem(chain, "makespan", n=5))
+                second = await service.submit(Problem(chain, "makespan", n=5))
+            finally:
+                service._pool.shutdown(wait=True)
+            return first, second
+
+        first, second = asyncio.run(go())
+        assert not first.cached and second.cached
+
+    def test_solver_errors_propagate_to_all_waiters(self):
+        async def go():
+            service = ScheduleService(store=SolutionStore(), workers=2)
+            try:
+                bad = Problem(Chain([2], [3]), "makespan", n=2,
+                              options={"not_an_option": 1})
+                results = await asyncio.gather(
+                    *(service.submit(bad) for _ in range(3)),
+                    return_exceptions=True,
+                )
+            finally:
+                service._pool.shutdown(wait=True)
+            return service, results
+
+        service, results = asyncio.run(go())
+        assert all(isinstance(r, Exception) for r in results)
+        assert service.errors == 3
+
+    def test_stats_shape(self):
+        service = ScheduleService(store=SolutionStore(), workers=2)
+        stats = service.stats()
+        assert stats["workers"] == 2
+        assert stats["store"]["hit_rate"] == 0.0
+        service._pool.shutdown(wait=True)
+
+
+class TestProtocol:
+    def _request(self, service, payload) -> dict:
+        return asyncio.run(handle_request(service, json.dumps(payload)))
+
+    def test_solve_roundtrip_and_hit(self):
+        from repro.io.json_io import problem_to_dict, solution_from_dict
+
+        service = ScheduleService(store=SolutionStore(), workers=1)
+        problem = Problem(Chain([2, 3], [3, 5]), "makespan", n=5)
+        request = {"id": "r1", "op": "solve",
+                   "problem": problem_to_dict(problem)}
+        first = self._request(service, request)
+        assert first["ok"] and first["id"] == "r1" and not first["cached"]
+        assert solution_from_dict(first["solution"]).makespan == 14
+        second = self._request(service, request)
+        assert second["cached"]
+        service._pool.shutdown(wait=True)
+
+    def test_ping_stats_and_errors(self):
+        service = ScheduleService(store=SolutionStore(), workers=1)
+        assert self._request(service, {"op": "ping"})["pong"]
+        assert "store" in self._request(service, {"op": "stats"})["stats"]
+        bad_op = self._request(service, {"op": "nope"})
+        assert not bad_op["ok"] and bad_op["error_kind"] == "bad_request"
+        bad_payload = self._request(service, {"op": "solve", "problem": {}})
+        assert bad_payload["error_kind"] == "bad_request"
+        malformed = asyncio.run(handle_request(service, "{not json"))
+        assert malformed["error_kind"] == "bad_request"
+        service._pool.shutdown(wait=True)
+
+    def test_solver_error_kinds(self):
+        from repro.io.json_io import problem_to_dict
+
+        service = ScheduleService(store=SolutionStore(), workers=1)
+        problem = Problem(Chain([2], [3]), "makespan", n=2,
+                          options={"bogus": 1})
+        response = self._request(
+            service, {"op": "solve", "problem": problem_to_dict(problem)}
+        )
+        assert not response["ok"] and response["error_kind"] == "error"
+        service._pool.shutdown(wait=True)
+
+
+class TestServeEndToEnd:
+    """Spawn the real ``repro serve`` subprocess over stdio."""
+
+    def test_smoke(self):
+        summary = smoke()
+        assert summary["requests"] == 3
+        assert summary["hits"] == 2
+
+    def test_client_error_response(self):
+        with ServiceClient.spawn(workers=1) as client:
+            response = client.request({"op": "solve", "problem": {"nope": 1}})
+            assert not response["ok"]
+            assert response["error_kind"] == "bad_request"
+            with pytest.raises(ServiceError):
+                client.solve(Problem(Chain([2], [3]), "makespan", n=1,
+                                     options={"bogus": True}))
+
+    def test_persistent_store_across_server_restarts(self, tmp_path):
+        store = tmp_path / "serve.sqlite"
+        problem = Problem(Chain([2, 3], [3, 5]), "makespan", n=5)
+        with ServiceClient.spawn(store_path=str(store), workers=1) as client:
+            _, meta = client.solve(problem)
+            assert meta["cached"] is False
+        with ServiceClient.spawn(store_path=str(store), workers=1) as client:
+            solution, meta = client.solve(problem)
+            assert meta["cached"] is True
+            assert solution.makespan == 14
+
+    def test_shutdown_op_ends_stdio_server(self):
+        with ServiceClient.spawn(workers=1) as client:
+            assert client.ping()
+            assert client.shutdown() is True
+        # context exit waited for the process: EOF-free clean termination
+        assert client._proc.returncode == 0
+
+
+class TestTcpTransport:
+    """serve_tcp + ServiceClient.connect, driven against a live server."""
+
+    @pytest.fixture()
+    def tcp_service(self):
+        import threading
+
+        service = ScheduleService(store=SolutionStore(), workers=1)
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        port_ready = threading.Event()
+        port_box: list[int] = []
+
+        def ready(port: int) -> None:
+            port_box.append(port)
+            port_ready.set()
+
+        server = asyncio.run_coroutine_threadsafe(
+            service.serve_tcp("127.0.0.1", 0, ready=ready), loop
+        )
+        assert port_ready.wait(timeout=10), "server never bound a port"
+        yield "127.0.0.1", port_box[0]
+        server.cancel()
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=5)
+        loop.close()
+        service._pool.shutdown(wait=True)
+
+    def test_solve_hit_and_shutdown_over_tcp(self, tcp_service):
+        host, port = tcp_service
+        problem = Problem(Chain([2, 3], [3, 5]), "makespan", n=5)
+        with ServiceClient.connect(host, port) as client:
+            assert client.ping()
+            solution, meta = client.solve(problem)
+            assert solution.makespan == 14 and meta["cached"] is False
+            _, meta2 = client.solve(problem)
+            assert meta2["cached"] is True
+            assert client.shutdown() is True
+            # the connection is closed; the next read sees EOF
+            with pytest.raises(ServiceError, match="closed"):
+                client.request({"op": "ping"})
+        # ... but the server keeps listening for new connections
+        with ServiceClient.connect(host, port) as client:
+            _, meta3 = client.solve(problem)
+            assert meta3["cached"] is True
+
+    def test_cli_rejects_portless_tcp(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="HOST:PORT"):
+            main(["serve", "--tcp", "localhost"])
+
+
+class TestOversizedRequests:
+    def test_too_long_line_answers_then_drops_connection(self):
+        """A request past the reader's line limit gets a bad_request answer
+        and a clean connection close, not a serving-loop crash."""
+
+        async def go():
+            service = ScheduleService(store=SolutionStore(), workers=1)
+            sent = []
+            calls = {"n": 0}
+
+            async def readline():
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    raise ValueError("Separator is not found, and chunk exceed the limit")
+                return b""  # must never be reached before the break
+
+            async def send(response):
+                sent.append(response)
+
+            try:
+                await service.handle_connection(readline, send)
+            finally:
+                service._pool.shutdown(wait=True)
+            return calls["n"], sent
+
+        reads, sent = asyncio.run(go())
+        assert reads == 1
+        assert len(sent) == 1
+        assert not sent[0]["ok"] and sent[0]["error_kind"] == "bad_request"
+        assert "too long" in sent[0]["error"]

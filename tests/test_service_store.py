@@ -1,0 +1,110 @@
+"""The content-addressed solution store (repro.service.store)."""
+
+import pytest
+
+from repro.platforms.chain import Chain
+from repro.platforms.spider import Spider
+from repro.service.canon import problem_fingerprint
+from repro.service.store import SolutionStore
+from repro.solve import Problem, solve
+from repro.solve.problem import ValidationError
+
+
+def solved(n: int = 5):
+    problem = Problem(Chain([2, 3], [3, 5]), "makespan", n=n)
+    return problem_fingerprint(problem), solve(problem)
+
+
+class TestMemoryTier:
+    def test_miss_then_hit(self):
+        store = SolutionStore()
+        fp, sol = solved()
+        assert store.get(fp) is None
+        store.put(fp, sol)
+        assert store.get(fp) is sol
+        assert store.stats.misses == 1
+        assert store.stats.memory_hits == 1
+        assert store.stats.writes == 1
+        assert fp in store
+        assert len(store) == 1
+
+    def test_lru_eviction_order(self):
+        store = SolutionStore(capacity=2)
+        entries = [solved(n) for n in (3, 4, 5)]
+        for fp, sol in entries[:2]:
+            store.put(fp, sol)
+        store.get(entries[0][0])  # touch: entry 0 is now the hottest
+        store.put(*entries[2])    # evicts entry 1, not 0
+        assert entries[0][0] in store
+        assert entries[1][0] not in store
+        assert entries[2][0] in store
+        assert store.stats.evictions == 1
+
+    def test_hit_rate(self):
+        store = SolutionStore()
+        fp, sol = solved()
+        store.get(fp)
+        store.put(fp, sol)
+        store.get(fp)
+        assert store.stats.hit_rate() == 0.5
+        assert store.stats.to_dict()["hit_rate"] == 0.5
+
+
+class TestSqliteTier:
+    def test_survives_reopen(self, tmp_path):
+        path = tmp_path / "solutions.sqlite"
+        fp, sol = solved()
+        with SolutionStore(path=path) as store:
+            store.put(fp, sol)
+        with SolutionStore(path=path) as store:
+            cached = store.get(fp)
+            assert cached is not None
+            assert cached.makespan == sol.makespan
+            assert store.stats.sqlite_hits == 1
+            # the sqlite hit was promoted: second read is a memory hit
+            assert store.get(fp) is cached
+            assert store.stats.memory_hits == 1
+
+    def test_eviction_falls_back_to_sqlite(self, tmp_path):
+        store = SolutionStore(path=tmp_path / "s.sqlite", capacity=1)
+        a, b = solved(3), solved(4)
+        store.put(*a)
+        store.put(*b)  # evicts a from memory; sqlite still holds it
+        assert store.stats.evictions == 1
+        assert store.get(a[0]) is not None
+        assert store.stats.sqlite_hits == 1
+
+    def test_len_counts_persistent_entries(self, tmp_path):
+        store = SolutionStore(path=tmp_path / "s.sqlite", capacity=1)
+        store.put(*solved(3))
+        store.put(*solved(4))
+        assert len(store) == 2
+
+
+class TestValidationOnWrite:
+    def test_corrupt_solution_rejected(self):
+        store = SolutionStore()
+        fp, sol = solved()
+        # corrupt the claimed schedule: shift one start to overlap its CPU
+        task = sol.schedule.assignments[2]
+        sol.schedule.assignments[2] = type(task)(
+            task.task, task.processor, task.start - 2, task.comms
+        )
+        with pytest.raises(ValidationError):
+            store.put(fp, sol)
+        assert store.stats.rejected == 1
+        assert store.stats.writes == 0
+        assert fp not in store
+
+    def test_deadline_miss_rejected(self):
+        spider = Spider([Chain([2, 3], [3, 5])])
+        problem = Problem(spider, "deadline", t_lim=30)
+        solution = solve(problem)
+        # claim a deadline the schedule cannot hold
+        object.__setattr__(solution.problem, "t_lim", solution.makespan - 1)
+        with pytest.raises(ValidationError):
+            SolutionStore().put("fp", solution)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SolutionStore(capacity=0)
