@@ -1,0 +1,67 @@
+"""E15 — the compiled replay kernel vs the event-driven executor.
+
+Regenerates the ``BENCH_replay.json`` kernels and asserts the replay
+acceptance claims: validating the zipf workload's solutions through the
+compiled linear-scan kernel must be >= 10× faster (median) than through
+the discrete-event executor, both engines must emit bit-identical traces
+(asserted inside the kernel), every isomorphism class must compile exactly
+once, and the adapter route memos must not be slower than the cold path.
+"""
+
+from benchmarks.common import report
+from benchmarks.kernels import (
+    REPLAY_MIN_SPEEDUP,
+    kernel_adapter_route_memo,
+    kernel_replay_zipf,
+)
+
+
+def test_replay_speedup_claims():
+    k = kernel_replay_zipf()
+
+    assert k["median_speedup"] >= REPLAY_MIN_SPEEDUP, (
+        f"compiled kernel only {k['median_speedup']}x faster than the "
+        f"event executor (event {k['event_median_ms']}ms vs compiled "
+        f"{k['compiled_median_ms']}ms)"
+    )
+    assert k["compile_core_misses"] == k["platforms"], (
+        "each isomorphism class must compile exactly once"
+    )
+
+    report(
+        "E15  compiled replay kernel: zipf workload validation",
+        "\n".join(
+            f"  {label:<28}{value}"
+            for label, value in [
+                ("distinct platforms", k["platforms"]),
+                ("tasks validated", k["tasks"]),
+                ("trace events (both engines)", k["events"]),
+                ("event median", f"{k['event_median_ms']} ms"),
+                ("compiled median", f"{k['compiled_median_ms']} ms"),
+                ("median speedup", f"{k['median_speedup']}x"),
+                ("min speedup", f"{k['min_speedup']}x"),
+            ]
+        ),
+    )
+
+
+def test_adapter_route_memo_wins():
+    k = kernel_adapter_route_memo()
+
+    assert k["memo_speedup"] >= 1.0, (
+        f"memoized route sweeps slower than cold ({k['memo_speedup']}x)"
+    )
+
+    report(
+        "E15b adapter route memoization",
+        "\n".join(
+            f"  {label:<28}{value}"
+            for label, value in [
+                ("processors", k["procs"]),
+                ("sweeps", k["sweeps"]),
+                ("cold (fresh adapter)", f"{k['memo_cold_ms']} ms"),
+                ("warm (memoized)", f"{k['memo_warm_ms']} ms"),
+                ("speedup", f"{k['memo_speedup']}x"),
+            ]
+        ),
+    )

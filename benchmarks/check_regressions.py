@@ -7,7 +7,7 @@ Usage (opt-in, not part of the default pytest run)::
     python -m benchmarks.check_regressions --skip-legacy   # fast paths only
     python -m benchmarks.check_regressions --family online  # one family only
 
-Four committed baseline files, one per kernel family:
+Five committed baseline files, one per kernel family:
 
 * ``BENCH_spider.json`` — the spider/chain/allocator/batch kernels plus the
   headline ``speedup`` block;
@@ -21,6 +21,10 @@ Four committed baseline files, one per kernel family:
   throughput, hit rates); its family **claim check** additionally asserts
   the warm pass is >= 5× faster (median) than cold misses, so a cache
   regression fails even when wall clock stays under the threshold.
+* ``BENCH_replay.json`` — the compiled replay kernel vs the event-driven
+  executor on the zipf workload's solutions; its claim check asserts the
+  compiled engine validates >= 10× faster (median) and that both engines
+  emit the same number of (bit-identical) trace events.
 
 Every kernel is run fresh; a kernel slower than ``--threshold`` (default
 2×) its committed seconds fails the check.  Operation counters (and for
@@ -45,6 +49,7 @@ SPIDER_BASELINE_PATH = _HERE / "BENCH_spider.json"
 TREE_BASELINE_PATH = _HERE / "BENCH_tree.json"
 ONLINE_BASELINE_PATH = _HERE / "BENCH_online.json"
 SERVICE_BASELINE_PATH = _HERE / "BENCH_service.json"
+REPLAY_BASELINE_PATH = _HERE / "BENCH_replay.json"
 
 #: fields that legitimately wobble run-to-run (wall clock and everything
 #: derived from it) — threshold- or claim-checked, never compared exactly.
@@ -53,12 +58,21 @@ _TIMING_FIELDS = {
     "cold_median_ms",
     "warm_median_ms",
     "median_speedup",
+    "min_speedup",
     "throughput_rps",
+    "event_median_ms",
+    "compiled_median_ms",
+    "memo_cold_ms",
+    "memo_warm_ms",
+    "memo_speedup",
 }
 
 #: the service family's acceptance floor: warm (all-hit) median latency
 #: must beat cold (miss) median latency by at least this factor.
 SERVICE_MIN_SPEEDUP = 5.0
+
+#: the replay family's acceptance floor lives in ``benchmarks.kernels``
+#: (``REPLAY_MIN_SPEEDUP``) so the pytest bench and this gate cannot drift.
 
 #: wall-clock floor for the threshold comparison: baselines are recorded on
 #: one machine and compared on another (CI), so sub-50ms kernels would flake
@@ -159,10 +173,56 @@ def check_service_claims(fresh: dict[str, dict]) -> list[str]:
     return failures
 
 
+def build_replay_payload(kernels: dict[str, dict]) -> dict:
+    from benchmarks.kernels import (
+        REPLAY_TIMING_ROUNDS,
+        SERVICE_N,
+        SERVICE_POOL_SIZE,
+        SERVICE_SEED,
+    )
+
+    return {
+        "schema": 1,
+        "kernels": kernels,
+        "workload": {
+            "pool": SERVICE_POOL_SIZE,
+            "n": SERVICE_N,
+            "zipf_seed": SERVICE_SEED,
+            "timing_rounds": REPLAY_TIMING_ROUNDS,
+        },
+    }
+
+
+def check_replay_claims(fresh: dict[str, dict]) -> list[str]:
+    """Fresh-run acceptance claims of the replay family."""
+    from benchmarks.kernels import REPLAY_MIN_SPEEDUP
+
+    kernel = fresh.get("replay_zipf_validation")
+    if kernel is None:
+        return []
+    failures = []
+    if kernel["median_speedup"] < REPLAY_MIN_SPEEDUP:
+        failures.append(
+            f"replay_zipf_validation: compiled/event median validation "
+            f"speedup {kernel['median_speedup']}x below the "
+            f"{REPLAY_MIN_SPEEDUP}x acceptance floor (event "
+            f"{kernel['event_median_ms']}ms vs compiled "
+            f"{kernel['compiled_median_ms']}ms)"
+        )
+    memo = fresh.get("adapter_route_memo")
+    if memo is not None and memo["memo_speedup"] < 1.0:
+        failures.append(
+            f"adapter_route_memo: memoized sweeps slower than cold "
+            f"({memo['memo_speedup']}x)"
+        )
+    return failures
+
+
 def _families() -> list[dict]:
     from benchmarks.kernels import (
         KERNELS,
         ONLINE_KERNELS,
+        REPLAY_KERNELS,
         SERVICE_KERNELS,
         TREE_KERNELS,
     )
@@ -192,6 +252,13 @@ def _families() -> list[dict]:
             "kernels": SERVICE_KERNELS,
             "payload": build_service_payload,
             "check": check_service_claims,
+        },
+        {
+            "name": "replay",
+            "path": REPLAY_BASELINE_PATH,
+            "kernels": REPLAY_KERNELS,
+            "payload": build_replay_payload,
+            "check": check_replay_claims,
         },
     ]
 

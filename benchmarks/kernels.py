@@ -584,3 +584,145 @@ def kernel_service_zipf() -> dict:
 SERVICE_KERNELS: dict[str, Callable[[], dict]] = {
     "service_zipf_workload": kernel_service_zipf,
 }
+
+
+# ---------------------------------------------------------------------------
+# The replay acceptance workload: compiled linear-scan vs event executor
+# ---------------------------------------------------------------------------
+
+#: acceptance floor: the compiled kernel must validate the zipf workload's
+#: solutions at least this many times faster (median) than the executor.
+REPLAY_MIN_SPEEDUP = 10.0
+
+#: repeats per solution when timing one validation (min taken — validation
+#: is deterministic, so the minimum is the least-noisy estimator).
+REPLAY_TIMING_ROUNDS = 7
+
+
+def replay_workload_solutions() -> list:
+    """One solved Solution per *distinct* platform of the PR 4 zipf
+    workload (the relabeled repeats share fingerprints — and, through the
+    compile cache, cores — with these)."""
+    from repro.service.canon import platform_fingerprint
+    from repro.solve import solve
+
+    distinct = {}
+    for problem in service_workload():
+        distinct.setdefault(platform_fingerprint(problem.platform), problem)
+    return [solve(problem) for problem in distinct.values()]
+
+
+def kernel_replay_zipf() -> dict:
+    """The replay acceptance kernel: validate every distinct zipf-workload
+    solution through both engines, compare per-solution medians.
+
+    Times exactly what the hot paths run — ``Solution.validate(engine=…)``,
+    i.e. the store's validate-on-write and ``repro batch --validate`` —
+    with the compile cache warm (the serving regime: platforms live in the
+    store's memory tier).  ``events`` is the cross-engine checksum: the
+    number of trace events both engines emit for the whole workload, exact
+    by construction and compared exactly by the regression gate."""
+    from statistics import median
+
+    from repro.core.compiled import clear_compile_cache, compile_stats
+
+    def once() -> dict:
+        clear_compile_cache()
+        solutions = replay_workload_solutions()
+        t0 = time.perf_counter()
+        event_times: list[float] = []
+        compiled_times: list[float] = []
+        speedups: list[float] = []
+        events = 0
+        tasks = 0
+        for sol in solutions:
+            sol.validate()  # warm the platform's compiled core + bind
+            per_event = []
+            per_compiled = []
+            for _ in range(REPLAY_TIMING_ROUNDS):
+                r0 = time.perf_counter()
+                sol.validate(engine="event")
+                per_event.append(time.perf_counter() - r0)
+                r0 = time.perf_counter()
+                sol.validate(engine="compiled")
+                per_compiled.append(time.perf_counter() - r0)
+            ev, co = min(per_event), min(per_compiled)
+            event_times.append(ev)
+            compiled_times.append(co)
+            speedups.append(ev / co)
+            # the bit-identical cross-check doubles as the event counter
+            trace_event = sol.replay(engine="event")
+            trace_compiled = sol.replay(engine="compiled")
+            assert trace_event.events == trace_compiled.events, (
+                f"engines disagree on {sol.solver} trace"
+            )
+            assert trace_event.busy == trace_compiled.busy
+            events += len(trace_compiled.events)
+            tasks += sol.n_tasks
+        seconds = time.perf_counter() - t0
+        stats = compile_stats()
+        return {
+            "seconds": seconds,
+            "platforms": len(solutions),
+            "n": SERVICE_N,
+            "tasks": tasks,
+            "events": events,
+            "compile_core_misses": stats["core_misses"],
+            "event_median_ms": round(median(event_times) * 1e3, 3),
+            "compiled_median_ms": round(median(compiled_times) * 1e3, 3),
+            "median_speedup": round(median(speedups), 2),
+            "min_speedup": round(min(speedups), 2),
+        }
+
+    return _best_of(once, 2)
+
+
+def kernel_adapter_route_memo() -> dict:
+    """Micro-bench for the adapter route memos: ``route_cost`` /
+    ``route_nodes`` over every processor of a deep spider, the access
+    pattern of the online policies' sort keys and the fault model's
+    downstream sets.  ``cold`` rebuilds the adapter every sweep (the
+    pre-memo cost), ``warm`` reuses one adapter (the memoized cost)."""
+    from repro.core.schedule import adapter_for
+    from repro.platforms.generators import random_spider
+
+    spider = random_spider(12, 8, seed=7)
+    sweeps = 40
+
+    def sweep(adapter) -> int:
+        total = 0
+        for proc in adapter.processors():
+            adapter.route_cost(proc)
+            total += len(adapter.route_nodes(proc))
+        return total
+
+    def once() -> dict:
+        t0 = time.perf_counter()
+        nodes = 0
+        for _ in range(sweeps):
+            nodes = sweep(adapter_for(spider))  # fresh adapter: all misses
+        cold = time.perf_counter() - t0
+        adapter = adapter_for(spider)
+        sweep(adapter)  # prime the memo
+        t0 = time.perf_counter()
+        for _ in range(sweeps):
+            sweep(adapter)
+        warm = time.perf_counter() - t0
+        return {
+            "seconds": cold + warm,
+            "procs": len(adapter.processors()),
+            "sweeps": sweeps,
+            "route_nodes_total": nodes,
+            "memo_cold_ms": round(cold * 1e3, 3),
+            "memo_warm_ms": round(warm * 1e3, 3),
+            "memo_speedup": round(cold / warm, 2),
+        }
+
+    return _best_of(once, 3)
+
+
+#: replay kernels live in their own baseline file (``BENCH_replay.json``).
+REPLAY_KERNELS: dict[str, Callable[[], dict]] = {
+    "replay_zipf_validation": kernel_replay_zipf,
+    "adapter_route_memo": kernel_adapter_route_memo,
+}

@@ -15,11 +15,13 @@ runs in descending-``t_lim`` order so each run's warm caps prime the next
 :func:`repro.core.spider.spider_schedule`.
 
 With ``validate=True`` every successful answer is additionally
-replay-validated: the solution is re-executed through the discrete-event
-simulator (:meth:`repro.solve.Solution.validate`), which independently
-enforces port serialisation, relay-FIFO forwarding and CPU cadence and
-compares the makespan bit-exactly.  A solution that fails replay fails its
-scenario.
+replay-validated (:meth:`repro.solve.Solution.validate`), which
+independently enforces port serialisation, relay-FIFO forwarding and CPU
+cadence and compares the makespan bit-exactly.  A solution that fails
+replay fails its scenario.  The replay runs on the compiled linear-scan
+kernel by default; ``engine="event"`` forces the discrete-event executor
+(the differential-testing oracle).  Result rows record the kernel used in
+``validated_by``.
 
 With ``cache=`` (a solution-store path, or a live
 :class:`~repro.service.store.SolutionStore` for serial runs) every
@@ -77,7 +79,7 @@ def _caps_cover(caps_budget: object, n: Optional[int]) -> bool:
     return n is not None and n <= caps_budget  # type: ignore[operator]
 
 
-def _open_store(cache):
+def _open_store(cache, engine=None):
     """Coerce the ``cache`` argument into a live SolutionStore (or None)."""
     if cache is None:
         return None, False
@@ -85,11 +87,14 @@ def _open_store(cache):
 
     if isinstance(cache, SolutionStore):
         return cache, False
-    return SolutionStore(path=cache), True
+    return SolutionStore(path=cache, engine=engine), True
 
 
 def run_group(
-    group: Sequence[_IndexedScenario], validate: bool = False, cache=None
+    group: Sequence[_IndexedScenario],
+    validate: bool = False,
+    cache=None,
+    engine: Optional[str] = None,
 ) -> list[_IndexedResult]:
     """Solve one platform group (module-level so process pools can pickle).
 
@@ -108,7 +113,10 @@ def run_group(
             ))
             for index, sc in group
         ]
-    store, own_store = _open_store(cache)
+    from ..sim.replay_fast import resolve_engine
+
+    engine_used = resolve_engine(engine) if validate else None
+    store, own_store = _open_store(cache, engine)
 
     solvers: dict[str, Solver] = {}
 
@@ -168,7 +176,18 @@ def run_group(
                 else:
                     solution = solver.solve(problem)
                 if validate:
-                    solution.validate()
+                    # strict engine: a row is validated by exactly the
+                    # engine it reports, or fails loudly (no silent
+                    # fallback that would falsify validated_by)
+                    solution.validate(engine=engine_used)
+                    # trace-only answers (fault runs) are checked by the
+                    # trace-exclusivity scan, not a replay engine
+                    row_engine = (
+                        engine_used if solution.schedule is not None
+                        else "trace"
+                    )
+                else:
+                    row_engine = None
                 result = ScenarioResult(
                     sc.id, True, sc.kind,
                     makespan=solution.makespan,
@@ -182,6 +201,7 @@ def run_group(
                     coverage=solution.extra.get("coverage"),
                     policy=solution.extra.get("policy"),
                     validated=True if validate else None,
+                    validated_by=row_engine,
                     cached=cached,
                 )
                 if sc.kind == "deadline" and solution.warm_caps is not None:
@@ -240,6 +260,9 @@ class BatchRunner:
     mode: str = "auto"
     validate: bool = False
     cache: object = None
+    #: replay kernel for ``validate`` (and the cache's validate-on-write):
+    #: None → compiled linear scan; "event" → discrete-event executor.
+    engine: Optional[str] = None
 
     def run(self, scenarios: Iterable[Scenario]) -> list[ScenarioResult]:
         indexed = list(enumerate(scenarios))
@@ -248,7 +271,8 @@ class BatchRunner:
             groups.setdefault(sc.platform_key, []).append((index, sc))
         group_list = list(groups.values())
 
-        solve_group = partial(run_group, validate=self.validate, cache=self.cache)
+        solve_group = partial(run_group, validate=self.validate,
+                              cache=self.cache, engine=self.engine)
         mode = self.mode
         if mode not in ("auto", "serial", "thread", "process"):
             raise BatchError(f"unknown batch mode {self.mode!r}")
@@ -288,8 +312,10 @@ def run_batch(
     mode: str = "auto",
     validate: bool = False,
     cache: object = None,
+    engine: Optional[str] = None,
 ) -> list[ScenarioResult]:
-    """Convenience wrapper: ``BatchRunner(workers, mode, validate, cache).run(...)``."""
+    """Convenience wrapper: ``BatchRunner(workers, mode, validate, cache, engine).run(...)``."""
     return BatchRunner(
-        workers=workers, mode=mode, validate=validate, cache=cache
+        workers=workers, mode=mode, validate=validate, cache=cache,
+        engine=engine,
     ).run(scenarios)

@@ -133,6 +133,11 @@ class ScenarioResult:
     #: True when the runner replay-validated this answer through the
     #: simulator (``run_batch(validate=True)``); None when not requested.
     validated: Optional[bool] = None
+    #: which replay engine validated the row: ``"compiled"`` (the
+    #: flat-array linear-scan kernel), ``"event"`` (the discrete-event
+    #: executor) or ``"trace"`` (trace-only fault runs, checked by the
+    #: trace-exclusivity scan); None when validation was off.
+    validated_by: Optional[str] = None
     #: True when the answer came from the solution store, False when the
     #: cache was consulted but missed; None when no cache was configured.
     cached: Optional[bool] = None
@@ -145,7 +150,8 @@ class ScenarioResult:
             "wall_s": self.wall_s,
         }
         for key in ("makespan", "n_tasks", "t_lim", "error", "rounds",
-                    "coverage", "policy", "validated", "cached"):
+                    "coverage", "policy", "validated", "validated_by",
+                    "cached"):
             value = getattr(self, key)
             if value is not None:
                 d[key] = value
@@ -169,6 +175,7 @@ class ScenarioResult:
             coverage=d.get("coverage"),
             policy=d.get("policy"),
             validated=d.get("validated"),
+            validated_by=d.get("validated_by"),
             cached=d.get("cached"),
         )
 

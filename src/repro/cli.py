@@ -289,6 +289,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="low-level engine mode (--executor is the friendly face)")
     p.add_argument("--validate", action="store_true",
                    help="replay-validate every answer through the simulator")
+    p.add_argument("--engine", choices=["compiled", "event"], default=None,
+                   help="replay kernel for --validate and cache writes: "
+                   "'compiled' = flat-array linear scan (default), "
+                   "'event' = discrete-event executor (the oracle)")
     p.add_argument("--cache", metavar="PATH",
                    help="solution-store SQLite file: repeated (isomorphic) "
                    "platforms are served from cache instead of re-solved")
@@ -312,6 +316,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="in-memory LRU capacity (default 256)")
     p.add_argument("--tcp", metavar="HOST:PORT",
                    help="serve over TCP instead of stdio (PORT 0 = ephemeral)")
+    p.add_argument("--no-verify-rebinds", action="store_true",
+                   help="skip the compiled replay check of rebound answers "
+                   "(served answers are then only validated on store write)")
+    p.add_argument("--engine", choices=["compiled", "event"], default=None,
+                   help="replay kernel for validate-on-write and rebind "
+                   "checks ('event' routes them through the oracle executor)")
 
     p = sub.add_parser("report", help="regenerate the headline results as markdown")
     p.add_argument("--seed", type=int, default=0)
@@ -499,7 +509,12 @@ def _run(args) -> int:
             )
         mode = EXECUTOR_MODES[args.executor] if args.executor else args.mode
         results = run_batch(scenarios, workers=args.workers, mode=mode,
-                            validate=args.validate, cache=args.cache)
+                            validate=args.validate, cache=args.cache,
+                            engine=args.engine)
+        headers = ["scenario", "kind", "status", "makespan", "tasks", "rounds",
+                   "policy", "seconds"]
+        if args.validate:
+            headers.append("validated_by")
         rows = [
             (
                 r.scenario_id,
@@ -511,13 +526,10 @@ def _run(args) -> int:
                 "" if r.policy is None else r.policy,
                 f"{r.wall_s:.4f}",
             )
+            + ((r.validated_by or "",) if args.validate else ())
             for r in results
         ]
-        print(format_table(
-            ["scenario", "kind", "status", "makespan", "tasks", "rounds",
-             "policy", "seconds"],
-            rows,
-        ))
+        print(format_table(headers, rows))
         failed = [r for r in results if not r.ok]
         checked = sum(1 for r in results if r.validated)
         hits = sum(1 for r in results if r.cached)
@@ -533,8 +545,11 @@ def _run(args) -> int:
 
         from .service import ScheduleService, SolutionStore
 
-        store = SolutionStore(path=args.store, capacity=args.capacity)
-        service = ScheduleService(store=store, workers=args.workers)
+        store = SolutionStore(path=args.store, capacity=args.capacity,
+                              engine=args.engine)
+        service = ScheduleService(store=store, workers=args.workers,
+                                  verify_rebinds=not args.no_verify_rebinds,
+                                  engine=args.engine)
         try:
             if args.tcp:
                 host, sep, port = args.tcp.rpartition(":")

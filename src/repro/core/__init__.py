@@ -6,9 +6,18 @@
 * :mod:`repro.core.chain` — the backward greedy chain algorithm (§3, Thm 1)
 * :mod:`repro.core.fork` — the fork/star algorithm of Beaumont et al. (§6)
 * :mod:`repro.core.spider` — the spider algorithm (§7, Thms 2–3)
+* :mod:`repro.core.compiled` — flat-array platform compilation for the
+  fast replay kernel (cached per isomorphism class)
 """
 
 from .commvector import CommVector, greatest
+from .compiled import (
+    CompileError,
+    CompiledPlatform,
+    clear_compile_cache,
+    compile_platform,
+    compile_stats,
+)
 from .schedule import Schedule, TaskAssignment, adapter_for
 from .feasibility import assert_feasible, check, is_feasible
 from .chain import (
@@ -33,6 +42,11 @@ from .types import (
 __all__ = [
     "CommVector",
     "greatest",
+    "CompileError",
+    "CompiledPlatform",
+    "clear_compile_cache",
+    "compile_platform",
+    "compile_stats",
     "Schedule",
     "TaskAssignment",
     "adapter_for",

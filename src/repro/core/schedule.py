@@ -77,6 +77,11 @@ class PlatformAdapter:
         raise NotImplementedError
 
     # -- derived helpers (shared by the simulator, policies and bounds) -----
+    #
+    # All three are memoized per adapter instance: the online policies and
+    # the fault model call them inside sort keys and dispatch loops, where
+    # re-walking the route on every call dominated the simulation profile.
+    # Platforms are immutable, so the memos can never go stale.
 
     def master_port(self) -> PortKey:
         """The master's send port: the sender of any route's first hop.
@@ -84,17 +89,41 @@ class PlatformAdapter:
         Every route starts at the master, so the first processor's route is
         as good as any — this is the single serialisation point the paper's
         one-port model revolves around."""
-        return self.sender(self.route(self.processors()[0])[0])
+        try:
+            return self._master_port_cache
+        except AttributeError:
+            port = self.sender(self.route(self.processors()[0])[0])
+            self._master_port_cache = port
+            return port
 
     def route_cost(self, proc: ProcKey) -> Time:
         """Total latency of the master→``proc`` route (the pipeline fill)."""
-        return sum(self.latency(link) for link in self.route(proc))
+        try:
+            cache = self._route_cost_cache
+        except AttributeError:
+            cache = self._route_cost_cache = {}
+        cost = cache.get(proc)
+        if cost is None:
+            cost = cache[proc] = sum(
+                self.latency(link) for link in self.route(proc)
+            )
+        return cost
 
-    def route_nodes(self, proc: ProcKey) -> list[PortKey]:
+    def route_nodes(self, proc: ProcKey) -> tuple[PortKey, ...]:
         """The nodes a task traverses to reach ``proc`` (excluding the
         master, including ``proc`` itself) — the fault model's notion of
-        "everything downstream dies with a node"."""
-        return [self.receiver(link) for link in self.route(proc)]
+        "everything downstream dies with a node".  Returns a (cached)
+        tuple: treat it as read-only."""
+        try:
+            cache = self._route_nodes_cache
+        except AttributeError:
+            cache = self._route_nodes_cache = {}
+        nodes = cache.get(proc)
+        if nodes is None:
+            nodes = cache[proc] = tuple(
+                self.receiver(link) for link in self.route(proc)
+            )
+        return nodes
 
 
 class ChainAdapter(PlatformAdapter):

@@ -56,11 +56,14 @@ class EventBudgetExceeded(SimulationError):
     forever).  Carries the budget so callers can distinguish "raise the
     bound" from "fix the loop"."""
 
-    def __init__(self, max_events: int):
+    def __init__(self, max_events: int, context: str = ""):
         self.max_events = max_events
+        self.context = context
+        suffix = f" [{context}]" if context else ""
         super().__init__(
             f"event budget exceeded ({max_events} events); livelocked "
             f"handler loop, or raise max_events for a genuinely huge run"
+            f"{suffix}"
         )
 
 

@@ -219,10 +219,22 @@ def canonical_form(platform: Any) -> CanonicalForm:
     The invariant is *per kind*: two Spiders that differ only by a leg
     permutation share a fingerprint; a Spider and the Tree spelling of the
     same shape do not (they answer through different solvers).
+
+    The form is memoized on the platform *object* (platforms are immutable
+    throughout the package): one request canonicalises once, no matter how
+    many times the cache key, the compiler and the rebind check need it.
     """
+    cached = getattr(platform, "_repro_canon_cache", None)
+    if cached is not None:
+        return cached
     for cls, fn in _CANONICALISERS.items():
         if isinstance(platform, cls):
-            return fn(platform)
+            form = fn(platform)
+            try:  # frozen dataclasses need the object.__setattr__ side door
+                object.__setattr__(platform, "_repro_canon_cache", form)
+            except (AttributeError, TypeError):  # slotted/exotic: skip memo
+                pass
+            return form
     raise CanonError(
         f"no canonicaliser for platform type {type(platform).__name__!r}"
     )

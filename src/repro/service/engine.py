@@ -126,44 +126,74 @@ def _solve_canonical(
     return solution
 
 
-def cached_solve(problem: Problem, store: SolutionStore) -> CachedOutcome:
+def cached_solve(
+    problem: Problem,
+    store: SolutionStore,
+    verify_rebind: bool = False,
+    engine: Optional[str] = None,
+) -> CachedOutcome:
     """Answer ``problem`` through ``store``: hit → rebind, miss → solve the
     canonical form, validate, store, rebind.  Uncacheable problems solve
-    directly (``fingerprint=None``)."""
+    directly (``fingerprint=None``).
+
+    ``verify_rebind=True`` replay-validates every *rebound* answer on the
+    request's own platform before returning it — affordable now that the
+    compiled replay kernel does it in one linear scan (``engine`` picks
+    the kernel, defaulting to ``"compiled"``)."""
     key = cache_key(problem)
     if key is None:
         return CachedOutcome(solve(problem), cached=False)
     fingerprint, canon = key
     hit = store.get(fingerprint)
     if hit is not None:
+        rebound = rebind_solution(hit, problem, canon)
+        if verify_rebind:
+            rebound.validate(engine=engine)
         return CachedOutcome(
-            rebind_solution(hit, problem, canon), cached=True,
-            fingerprint=fingerprint,
+            rebound, cached=True, fingerprint=fingerprint,
         )
     solution = _solve_canonical(problem, fingerprint, canon, store)
+    rebound = rebind_solution(solution, problem, canon)
+    if verify_rebind:
+        rebound.validate(engine=engine)
     return CachedOutcome(
-        rebind_solution(solution, problem, canon), cached=False,
-        fingerprint=fingerprint,
+        rebound, cached=False, fingerprint=fingerprint,
     )
 
 
 class ScheduleService:
     """Asyncio scheduling service over a :class:`SolutionStore`.
 
-    ``workers`` bounds the thread pool the (CPU-bound, GIL-releasing-free)
-    solves run on; the event loop itself only does cache lookups, rebinds
-    and protocol I/O.  Identical concurrent fingerprints are coalesced:
+    ``workers`` bounds the thread pool the CPU-bound work — solves *and*
+    rebinds with their replay checks — runs on; the event loop itself only
+    does cache lookups and protocol I/O, so one large rebind cannot stall
+    every other connection.  Identical concurrent fingerprints are
+    coalesced:
     the first request solves, the rest await its future and rebind the
     shared canonical solution onto their own platforms.
     """
 
     def __init__(
-        self, store: Optional[SolutionStore] = None, workers: int = 2
+        self,
+        store: Optional[SolutionStore] = None,
+        workers: int = 2,
+        verify_rebinds: bool = True,
+        engine: Optional[str] = None,
     ) -> None:
+        from ..sim.replay_fast import resolve_engine
+
         if workers < 1:
             raise ValueError(f"service needs >= 1 worker, got {workers}")
         self.store = store if store is not None else SolutionStore()
         self.workers = workers
+        #: replay-validate every rebound answer on the request's platform
+        #: before serving it — one linear scan through the compiled replay
+        #: kernel, so "nothing corrupt is ever served" extends to rebinds.
+        self.verify_rebinds = verify_rebinds
+        #: replay kernel for the rebind checks (None → compiled; "event"
+        #: routes serve-time verification through the oracle executor).
+        self.engine = engine
+        resolve_engine(engine)  # reject typos before serving starts
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve"
         )
@@ -184,19 +214,29 @@ class ScheduleService:
                 solution = await loop.run_in_executor(self._pool, solve, problem)
                 return CachedOutcome(solution, cached=False)
             fingerprint, canon = key
-            hit = self.store.get(fingerprint)
-            if hit is not None:
-                return CachedOutcome(
-                    rebind_solution(hit, problem, canon), cached=True,
-                    fingerprint=fingerprint,
-                )
+            # the in-flight table is consulted *before* the store: the
+            # winner registers its future synchronously, so concurrent
+            # identical requests coalesce deterministically even when the
+            # solve+store happens to finish before they get scheduled
+            # (with the compiled validator that race is routinely lost)
             inflight = self._inflight.get(fingerprint)
             if inflight is not None:
                 self.coalesced += 1
                 solution = await asyncio.shield(inflight)
+                rebound = await loop.run_in_executor(
+                    self._pool, self._rebound, solution, problem, canon
+                )
                 return CachedOutcome(
-                    rebind_solution(solution, problem, canon), cached=False,
+                    rebound, cached=False,
                     fingerprint=fingerprint, coalesced=True,
+                )
+            hit = self.store.get(fingerprint)
+            if hit is not None:
+                rebound = await loop.run_in_executor(
+                    self._pool, self._rebound, hit, problem, canon
+                )
+                return CachedOutcome(
+                    rebound, cached=True, fingerprint=fingerprint,
                 )
             future: asyncio.Future = loop.create_future()
             self._inflight[fingerprint] = future
@@ -215,13 +255,21 @@ class ScheduleService:
                     future.set_result(solution)
             finally:
                 self._inflight.pop(fingerprint, None)
+            rebound = await loop.run_in_executor(
+                self._pool, self._rebound, solution, problem, canon
+            )
             return CachedOutcome(
-                rebind_solution(solution, problem, canon), cached=False,
-                fingerprint=fingerprint,
+                rebound, cached=False, fingerprint=fingerprint,
             )
         except Exception:
             self.errors += 1
             raise
+
+    def _rebound(self, solution: Solution, problem: Problem, canon) -> Solution:
+        rebound = rebind_solution(solution, problem, canon)
+        if self.verify_rebinds:
+            rebound.validate(engine=self.engine)  # one linear scan (default)
+        return rebound
 
     def stats(self) -> dict[str, Any]:
         return {

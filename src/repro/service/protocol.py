@@ -164,9 +164,14 @@ class ServiceClient:
         """Send one request dict, block for its response dict."""
         self._next_id += 1
         message = {"id": f"c{self._next_id}", **payload}
-        self._writer.write(json.dumps(message) + "\n")
-        self._writer.flush()
-        line = self._reader.readline()
+        try:
+            self._writer.write(json.dumps(message) + "\n")
+            self._writer.flush()
+            line = self._reader.readline()
+        except (BrokenPipeError, ConnectionResetError) as exc:
+            # a torn-down peer may surface as RST instead of a clean EOF,
+            # depending on who wins the close/write race — same meaning
+            raise ServiceError(f"connection closed by server ({exc})") from exc
         if not line:
             detail = ""
             if self._proc is not None and self._proc.poll() is not None:

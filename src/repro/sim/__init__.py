@@ -1,7 +1,10 @@
 """Discrete-event simulation of master-slave platforms.
 
 * :mod:`repro.sim.engine` — the event calendar;
-* :mod:`repro.sim.executor` — replay a static schedule with runtime checks;
+* :mod:`repro.sim.executor` — replay a static schedule with runtime checks
+  (the event-driven oracle);
+* :mod:`repro.sim.replay_fast` — the compiled linear-scan replay kernel
+  (default validation path; bit-identical traces, ~10x faster);
 * :mod:`repro.sim.online` — demand-driven / round-robin online policies
   (the SETI@home-style operation the paper's introduction motivates);
 * :mod:`repro.sim.trace` — traces, utilisation, trace→schedule round-trip.
@@ -10,6 +13,15 @@
 from .engine import Simulator
 from .events import Event, EventKind
 from .executor import execute, verify_by_execution
+from .replay_fast import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    execute_fast,
+    replay_schedule,
+    resolve_engine,
+    verify_fast,
+    verify_schedule,
+)
 from .online import (
     ONLINE_POLICIES,
     OnlineResult,
@@ -37,6 +49,13 @@ __all__ = [
     "EventKind",
     "execute",
     "verify_by_execution",
+    "DEFAULT_ENGINE",
+    "ENGINES",
+    "execute_fast",
+    "replay_schedule",
+    "resolve_engine",
+    "verify_fast",
+    "verify_schedule",
     "ONLINE_POLICIES",
     "OnlineResult",
     "OnlineState",

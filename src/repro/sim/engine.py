@@ -41,13 +41,26 @@ class Simulator:
         self._seq = itertools.count()
         self.now: Time = 0
         self._running = False
+        self._current: Optional[Handler] = None
         self.max_events = max_events
+
+    def _context(self) -> str:
+        """Where the simulation stands — appended to scheduling errors so a
+        livelocked or misbehaving handler names itself."""
+        if self._current is None:
+            handler = "none (seeding phase)"
+        else:
+            handler = getattr(
+                self._current, "__qualname__", None
+            ) or repr(self._current)
+        return f"{len(self._queue)} events pending, current handler: {handler}"
 
     def at(self, time: Time, handler: Handler, priority: int = 0) -> None:
         """Schedule ``handler`` at absolute ``time`` (>= now)."""
         if time < self.now:
             raise SimulationError(
-                f"cannot schedule in the past: {time} < now={self.now}"
+                f"cannot schedule in the past: {time} < now={self.now} "
+                f"({self._context()})"
             )
         heapq.heappush(
             self._queue, _QueueEntry(time, priority, next(self._seq), handler)
@@ -78,13 +91,15 @@ class Simulator:
                     break
                 heapq.heappop(self._queue)
                 self.now = entry.time
+                self._current = entry.handler
                 entry.handler(self)
                 executed += 1
                 if executed > budget:
-                    raise EventBudgetExceeded(budget)
+                    raise EventBudgetExceeded(budget, context=self._context())
             return self.now
         finally:
             self._running = False
+            self._current = None
 
     @property
     def pending(self) -> int:

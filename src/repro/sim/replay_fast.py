@@ -1,0 +1,371 @@
+"""Linear-scan replay validation against a compiled platform.
+
+This is the fast half of the replay subsystem: where
+:mod:`repro.sim.executor` pushes one closure per event through a ``heapq``,
+this module checks a :class:`~repro.core.schedule.Schedule` directly
+against the flat arrays of a
+:class:`~repro.core.compiled.CompiledPlatform` — no heap, no per-event
+closures, no ``Event`` objects on the hot path:
+
+* **setup pass** (mirrors the executor's scheduling phase): every emission
+  and execution start must be ``>= 0``;
+* **relay-FIFO**: along each route, hop ``k+1`` may not leave before hop
+  ``k`` has fully arrived, and execution may not start before the final
+  hop's arrival (strict comparisons — exactly the executor's observable
+  rule, since arrival information only exists once the arrival event has
+  fired);
+* **exclusivity**: per send-port, per link and per CPU, the busy intervals
+  are sorted once (in the executor's claim order: time, then task, then
+  hop) and scanned linearly with the executor's running ``busy_until``
+  semantics and :data:`~repro.core.types.EPS` slack;
+* **bit-exact accounting**: makespan and per-task completions are computed
+  with the same arithmetic the simulator would use and compared against
+  the schedule's static claims.
+
+On *accept*, the emitted :class:`~repro.sim.trace.Trace` is bit-identical
+to the executor's (same event order, same busy intervals): the executor's
+heap order ``(time, priority, seq)`` is reconstructed by one sort plus a
+linear merge — the deterministic seeding order gives every start event
+its sequence number, and end events are re-merged in their start's pop
+rank (a zero-duration end pops immediately after its own start).  On *reject*, both engines
+reject; when a schedule violates several rules at once they may name a
+different violation first (the executor reports whichever event fires
+first, the scan reports per rule), which is why the differential suite
+compares accept/reject + trace + makespan rather than message strings.
+
+The event-driven executor stays registered as the ``"event"`` engine — the
+differential-testing oracle and the escape hatch for platforms the
+compiler cannot flatten.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+from ..core.compiled import CompiledPlatform, CompileError, compile_platform
+from ..core.schedule import Schedule
+from ..core.types import EPS, EventBudgetExceeded, SimulationError, Time
+from .engine import DEFAULT_MAX_EVENTS
+from .events import Event, EventKind
+from .trace import Trace
+
+__all__ = [
+    "DEFAULT_ENGINE",
+    "ENGINES",
+    "execute_fast",
+    "replay_schedule",
+    "resolve_engine",
+    "verify_fast",
+    "verify_schedule",
+]
+
+#: the two replay engines: ``"compiled"`` (this module) and ``"event"``
+#: (:mod:`repro.sim.executor`, the differential-testing oracle).
+ENGINES = ("compiled", "event")
+
+#: engine used when callers pass ``engine=None``.
+DEFAULT_ENGINE = "compiled"
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Normalise an engine choice (``None`` → :data:`DEFAULT_ENGINE`)."""
+    if engine is None:
+        return DEFAULT_ENGINE
+    if engine not in ENGINES:
+        raise SimulationError(
+            f"unknown replay engine {engine!r}; expected one of {ENGINES}"
+        )
+    return engine
+
+
+# ---------------------------------------------------------------------------
+# The linear scan
+# ---------------------------------------------------------------------------
+
+
+def _scan(schedule: Schedule, cp: CompiledPlatform) -> tuple[int, Time]:
+    """Run every model check; returns ``(tasks, makespan)`` or raises
+    :class:`~repro.core.types.SimulationError`."""
+    port_iv: list[list] = [[] for _ in cp.port_keys]
+    link_iv: list[list] = [[] for _ in cp.procs]
+    proc_iv: list[list] = [[] for _ in cp.procs]
+    latency = cp.latency
+    works = cp.works
+    sender_port = cp.sender_port
+    route_links = cp.route_links
+    route_start = cp.route_start
+    makespan: Time = 0
+    n_events = 0
+
+    assignments = schedule.assignments
+    proc_index = cp.proc_index
+    for task in sorted(assignments):
+        a = assignments[task]
+        i = proc_index.get(a.processor)
+        if i is None:
+            raise SimulationError(
+                f"task {task}: unknown processor {a.processor!r}"
+            )
+        base = route_start[i]
+        nlinks = route_start[i + 1] - base
+        comms = a.comms.times
+        m = nlinks if nlinks <= len(comms) else len(comms)
+        start = a.start
+        # negative times are refused at seeding time by the simulator;
+        # relay-FIFO is strict (an arrival fires before an equal-time
+        # departure: end events outrank start events in the heap)
+        arr: Time = 0
+        for hop in range(m):
+            emit = comms[hop]
+            if emit < 0:
+                raise SimulationError(
+                    f"cannot schedule in the past: {emit} < now=0"
+                )
+            if hop and emit < arr:
+                raise SimulationError(
+                    f"task {task}: relayed from "
+                    f"{cp.link_keys[route_links[base + hop - 1]]!r} "
+                    f"at {emit} before arrival (None)"
+                )
+            l = route_links[base + hop]
+            end = emit + latency[l]
+            port_iv[sender_port[l]].append((emit, task, hop, end))
+            link_iv[l].append((emit, task, hop, end))
+            arr = end
+        if start < 0:
+            raise SimulationError(
+                f"cannot schedule in the past: {start} < now=0"
+            )
+        if m != nlinks or start < arr:
+            raise SimulationError(
+                f"task {task}: execution on {a.processor!r} at {start} "
+                f"before arrival (None)"
+            )
+        done = start + works[i]
+        proc_iv[i].append((start, task, done))
+        n_events += 2 * m + 2
+        if done > makespan:
+            makespan = done
+
+    # -- exclusivity: sort once per resource, scan adjacent ----------------
+    def sweep(ivs: list, what: str, key) -> None:
+        ivs.sort()
+        busy: Time = float("-inf")
+        for iv in ivs:
+            start = iv[0]
+            if start + EPS < busy:
+                raise SimulationError(
+                    f"{what} {key!r} still busy until {busy} when task "
+                    f"{iv[1]} claims it at {start}"
+                )
+            busy = iv[-1]
+
+    for p, ivs in enumerate(port_iv):
+        if len(ivs) > 1:
+            sweep(ivs, "port", cp.port_keys[p])
+    for l, ivs in enumerate(link_iv):
+        if len(ivs) > 1:
+            sweep(ivs, "link", cp.link_keys[l])
+    for i, ivs in enumerate(proc_iv):
+        if len(ivs) > 1:
+            sweep(ivs, "processor", cp.procs[i])
+
+    if n_events > DEFAULT_MAX_EVENTS:
+        # the event executor would blow its default budget on this replay
+        raise EventBudgetExceeded(DEFAULT_MAX_EVENTS)
+    return schedule.n_tasks, makespan
+
+
+# ---------------------------------------------------------------------------
+# Bit-identical trace reconstruction
+# ---------------------------------------------------------------------------
+
+
+def _build_trace(schedule: Schedule, cp: CompiledPlatform) -> Trace:
+    """The exact trace the event executor would emit (accepted schedules).
+
+    The simulator pops ``(time, priority, seq)``: start events get their
+    seq when seeded (task-major, hop-minor), end events get theirs in the
+    pop order of the start that scheduled them — so one sort plus a small
+    end-merge heap reproduces the full calendar's order."""
+    starts: list[tuple] = []  # (time, priority, seq, is_send, task, index)
+    seq = 0
+    for a in schedule:
+        i = cp.proc_index[a.processor]
+        base = cp.route_start[i]
+        links = cp.route_links[base:cp.route_start[i + 1]]
+        comms = a.comms.times
+        for hop in range(min(len(links), len(comms))):
+            starts.append((comms[hop], 2, seq, True, a.task, links[hop]))
+            seq += 1
+        starts.append((a.start, 3, seq, False, a.task, i))
+        seq += 1
+    starts.sort()
+    # merge ends back in heap order: an end pops before the next start iff
+    # its time is <= that start's time (ends carry priority 0, starts 2/3),
+    # and a zero-duration end therefore pops *immediately after* its own
+    # start — which a plain sort on (time, 0, seq) would misorder.
+    entries: list[tuple] = []
+    pending: list[tuple] = []  # (end_time, creation_rank, entry)
+    for j, e in enumerate(starts):
+        while pending and pending[0][0] <= e[0]:
+            entries.append(heapq.heappop(pending)[2])
+        entries.append(e)
+        dur = cp.latency[e[5]] if e[3] else cp.works[e[5]]
+        end = (e[0] + dur, 0, seq + j, e[3], e[4], e[5])
+        heapq.heappush(pending, (end[0], j, end))
+    while pending:
+        entries.append(heapq.heappop(pending)[2])
+
+    trace = Trace()
+    events = trace.events
+    busy = trace.busy
+    port_keys, link_keys, procs = cp.port_keys, cp.link_keys, cp.procs
+    latency, works, sender_port = cp.latency, cp.works, cp.sender_port
+    for time, priority, _seq, is_send, task, idx in entries:
+        if is_send:
+            port = port_keys[sender_port[idx]]
+            link = link_keys[idx]
+            if priority == 2:
+                events.append(
+                    Event(time, EventKind.SEND_START, task, port, {"link": link})
+                )
+                end = time + latency[idx]
+                busy.setdefault(("port", port), []).append((time, end, task))
+                busy.setdefault(("link", link), []).append((time, end, task))
+            else:
+                events.append(
+                    Event(time, EventKind.SEND_END, task, port, {"link": link})
+                )
+        else:
+            proc = procs[idx]
+            if priority == 3:
+                events.append(Event(time, EventKind.EXEC_START, task, proc))
+                busy.setdefault(("proc", proc), []).append(
+                    (time, time + works[idx], task)
+                )
+            else:
+                events.append(Event(time, EventKind.EXEC_END, task, proc))
+    return trace
+
+
+class _LazyTrace(Trace):
+    """A :class:`Trace` that materialises its event log on first access.
+
+    The hot consumers (store validate-on-write, batch ``--validate``,
+    rebind checks) never look at the trace they are returned — this keeps
+    the compiled path allocation-free for them while callers that *do*
+    inspect the trace see the bit-identical event log."""
+
+    def __init__(self, build: Callable[[], Trace]) -> None:
+        # deliberately no super().__init__(): events/busy resolve through
+        # the properties below
+        self._build = build
+        self._real: Optional[Trace] = None
+
+    def _materialise(self) -> Trace:
+        if self._real is None:
+            self._real = self._build()
+            self._build = None  # type: ignore[assignment]
+        return self._real
+
+    @property
+    def events(self):  # type: ignore[override]
+        return self._materialise().events
+
+    @property
+    def busy(self):  # type: ignore[override]
+        return self._materialise().busy
+
+    # Trace's dataclass __eq__ requires an exact class match; a lazy trace
+    # must still compare equal to the executor's plain Trace when the
+    # materialised content is identical
+    def __eq__(self, other):
+        if isinstance(other, Trace):
+            return self.events == other.events and self.busy == other.busy
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]  # matches Trace (eq, no hash)
+
+
+# ---------------------------------------------------------------------------
+# Public entry points (compiled engine)
+# ---------------------------------------------------------------------------
+
+
+def execute_fast(
+    schedule: Schedule, compiled: Optional[CompiledPlatform] = None
+) -> Trace:
+    """Compiled twin of :func:`repro.sim.executor.execute`: validate and
+    return the (eagerly built, bit-identical) trace."""
+    cp = compiled if compiled is not None else compile_platform(schedule.platform)
+    tasks, _makespan = _scan(schedule, cp)
+    if tasks != schedule.n_tasks:  # unreachable; mirrors the executor's guard
+        raise SimulationError(
+            f"only {tasks} of {schedule.n_tasks} tasks completed"
+        )
+    return _build_trace(schedule, cp)
+
+
+def verify_fast(
+    schedule: Schedule,
+    compiled: Optional[CompiledPlatform] = None,
+    lazy_trace: bool = False,
+) -> Trace:
+    """Compiled twin of :func:`repro.sim.executor.verify_by_execution`:
+    validate, check the schedule's static claims, return the trace.
+
+    ``lazy_trace=True`` defers building the event log until the returned
+    trace is actually inspected — the validation hot path."""
+    cp = compiled if compiled is not None else compile_platform(schedule.platform)
+    _tasks, makespan = _scan(schedule, cp)
+    claimed = schedule.makespan
+    if abs(float(makespan) - float(claimed)) > EPS:
+        raise SimulationError(
+            f"trace makespan {makespan} != schedule makespan {claimed}"
+        )
+    if lazy_trace:
+        return _LazyTrace(lambda: _build_trace(schedule, cp))
+    return _build_trace(schedule, cp)
+
+
+# ---------------------------------------------------------------------------
+# Engine dispatch (what Solution.validate()/replay() call)
+# ---------------------------------------------------------------------------
+
+
+def replay_schedule(schedule: Schedule, engine: Optional[str] = None) -> Trace:
+    """Execute ``schedule`` with the chosen engine, returning the trace.
+
+    ``engine=None`` prefers the compiled kernel and falls back to the
+    event executor for platforms the compiler cannot flatten; an explicit
+    ``"compiled"`` is strict (the :class:`CompileError` propagates)."""
+    from .executor import execute  # local import: executor is a peer module
+
+    resolved = resolve_engine(engine)
+    if resolved == "compiled":
+        try:
+            return execute_fast(schedule)
+        except CompileError:
+            if engine is not None:
+                raise
+            return execute(schedule)
+    return execute(schedule)
+
+
+def verify_schedule(
+    schedule: Schedule, engine: Optional[str] = None, lazy_trace: bool = False
+) -> Trace:
+    """Validate ``schedule`` (claims included) with the chosen engine."""
+    from .executor import verify_by_execution
+
+    resolved = resolve_engine(engine)
+    if resolved == "compiled":
+        try:
+            return verify_fast(schedule, lazy_trace=lazy_trace)
+        except CompileError:
+            if engine is not None:
+                raise
+            return verify_by_execution(schedule)
+    return verify_by_execution(schedule)

@@ -119,42 +119,52 @@ class Solution:
 
     # -- replay validation --------------------------------------------------
 
-    def replay(self) -> Any:
-        """Execute the schedule event-by-event on the simulated platform.
+    def replay(self, engine: Optional[str] = None) -> Any:
+        """Execute the schedule on the simulated platform.
 
-        Returns the fresh :class:`~repro.sim.trace.Trace`.  The executor
-        enforces the model's exclusivity rules at runtime (one send per
-        port, one message per link, one task per CPU, relay only after
-        arrival) and raises on any violation."""
-        from ..sim.executor import execute  # local import: sim is a consumer-side layer
+        Returns the fresh :class:`~repro.sim.trace.Trace`.  The replay
+        enforces the model's exclusivity rules (one send per port, one
+        message per link, one task per CPU, relay only after arrival) and
+        raises on any violation.  ``engine`` picks the replay kernel:
+        ``"compiled"`` (flat-array linear scan, the default) or
+        ``"event"`` (the discrete-event executor, the differential-testing
+        oracle)."""
+        from ..sim.replay_fast import replay_schedule  # sim is a consumer-side layer
 
         if self.schedule is None:
             raise SolveError(
                 f"solution from solver {self.solver!r} is trace-only "
                 "(fault-injected run); there is no schedule to replay"
             )
-        return execute(self.schedule)
+        return replay_schedule(self.schedule, engine)
 
-    def validate(self) -> Any:
+    def validate(self, engine: Optional[str] = None) -> Any:
         """Machine-check this solution by replaying it; returns the trace.
 
         * schedule-backed solutions (every offline solver, online runs
-          without failures) are re-executed through the discrete-event
-          executor and their makespan / per-task completions are compared
+          without failures) are re-executed — by default through the
+          compiled linear-scan kernel (:mod:`repro.sim.replay_fast`),
+          with ``engine="event"`` forcing the discrete-event executor —
+          and their makespan / per-task completions are compared
           bit-exactly against the schedule's static claims;
         * trace-only solutions (fault-injected runs) have their trace
           re-checked against the model's exclusivity rules;
         * deadline problems additionally assert ``makespan <= t_lim``.
 
-        Raises :class:`ValidationError` on any mismatch.
+        Raises :class:`ValidationError` on any mismatch.  The compiled
+        engine returns a lazily-materialised trace: callers that never
+        inspect it (the store's validate-on-write, the batch runner) pay
+        for the checks only, not for the event log.
         """
         from ..core.types import SimulationError
-        from ..sim.executor import verify_by_execution
         from ..sim.faults import assert_trace_exclusive
+        from ..sim.replay_fast import resolve_engine, verify_schedule
 
+        resolve_engine(engine)  # a typo'd engine is a usage error, raised
+        # before the except block below can blame it on the solver
         try:
             if self.schedule is not None:
-                trace = verify_by_execution(self.schedule)
+                trace = verify_schedule(self.schedule, engine, lazy_trace=True)
             else:
                 if self.trace is None:
                     raise SolveError(
