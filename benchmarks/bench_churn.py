@@ -1,0 +1,47 @@
+"""E16 — incremental repatch repair vs cold re-solve under churn.
+
+Regenerates the ``BENCH_churn.json`` kernel and asserts the churn
+acceptance claims: repairing a committed schedule at the churn instant
+must be >= 3x faster (median over episodes) than re-solving the remaining
+work cold on the mutated platform, the repaired completion must stay
+within the repatch regret tolerance of the clairvoyant cold total, and
+every repaired schedule must replay-validate with a bit-identical kept
+prefix (asserted inside the kernel).
+"""
+
+from benchmarks.common import report
+from benchmarks.kernels import CHURN_MIN_SPEEDUP, kernel_churn_repair
+from repro.solve.repatch import REPATCH_TOLERANCE
+
+
+def test_churn_repair_claims():
+    k = kernel_churn_repair()
+
+    assert k["median_speedup"] >= CHURN_MIN_SPEEDUP, (
+        f"repatch only {k['median_speedup']}x faster than cold re-solve "
+        f"(repair {k['repair_median_ms']}ms vs re-solve "
+        f"{k['resolve_median_ms']}ms)"
+    )
+    assert k["max_regret"] <= REPATCH_TOLERANCE, (
+        f"repaired completion exceeded the regret tolerance "
+        f"({k['max_regret']} > {REPATCH_TOLERANCE})"
+    )
+
+    report(
+        "E16  churn repair: repatch vs cold re-solve",
+        "\n".join(
+            f"  {label:<28}{value}"
+            for label, value in [
+                ("episodes", k["episodes"]),
+                ("tasks per episode", k["n"]),
+                ("prefix kept (all episodes)", k["kept"]),
+                ("tasks replanned", k["replanned"]),
+                ("repair median", f"{k['repair_median_ms']} ms"),
+                ("re-solve median", f"{k['resolve_median_ms']} ms"),
+                ("median speedup", f"{k['median_speedup']}x"),
+                ("min speedup", f"{k['min_speedup']}x"),
+                ("median regret", k["median_regret"]),
+                ("max regret", k["max_regret"]),
+            ]
+        ),
+    )

@@ -7,7 +7,7 @@ Usage (opt-in, not part of the default pytest run)::
     python -m benchmarks.check_regressions --skip-legacy   # fast paths only
     python -m benchmarks.check_regressions --family online  # one family only
 
-Five committed baseline files, one per kernel family:
+Six committed baseline files, one per kernel family:
 
 * ``BENCH_spider.json`` — the spider/chain/allocator/batch kernels plus the
   headline ``speedup`` block;
@@ -25,6 +25,10 @@ Five committed baseline files, one per kernel family:
   executor on the zipf workload's solutions; its claim check asserts the
   compiled engine validates >= 10× faster (median) and that both engines
   emit the same number of (bit-identical) trace events.
+* ``BENCH_churn.json`` — incremental repatch repair vs cold re-solve on
+  the churn episode workload; its claim check asserts repair is >= 3×
+  faster (median) and that the repaired completion stays within the
+  repatch regret tolerance.
 
 Every kernel is run fresh; a kernel slower than ``--threshold`` (default
 2×) its committed seconds fails the check.  Operation counters (and for
@@ -50,6 +54,7 @@ TREE_BASELINE_PATH = _HERE / "BENCH_tree.json"
 ONLINE_BASELINE_PATH = _HERE / "BENCH_online.json"
 SERVICE_BASELINE_PATH = _HERE / "BENCH_service.json"
 REPLAY_BASELINE_PATH = _HERE / "BENCH_replay.json"
+CHURN_BASELINE_PATH = _HERE / "BENCH_churn.json"
 
 #: fields that legitimately wobble run-to-run (wall clock and everything
 #: derived from it) — threshold- or claim-checked, never compared exactly.
@@ -65,6 +70,8 @@ _TIMING_FIELDS = {
     "memo_cold_ms",
     "memo_warm_ms",
     "memo_speedup",
+    "repair_median_ms",
+    "resolve_median_ms",
 }
 
 #: the service family's acceptance floor: warm (all-hit) median latency
@@ -218,8 +225,59 @@ def check_replay_claims(fresh: dict[str, dict]) -> list[str]:
     return failures
 
 
+def build_churn_payload(kernels: dict[str, dict]) -> dict:
+    from benchmarks.kernels import (
+        CHURN_EPISODES,
+        CHURN_LEG_DEPTH,
+        CHURN_LEGS,
+        CHURN_N,
+        CHURN_TIMING_ROUNDS,
+    )
+
+    return {
+        "schema": 1,
+        "kernels": kernels,
+        "workload": {
+            "episodes": CHURN_EPISODES,
+            "legs": CHURN_LEGS,
+            "leg_depth": CHURN_LEG_DEPTH,
+            "n": CHURN_N,
+            "timing_rounds": CHURN_TIMING_ROUNDS,
+        },
+    }
+
+
+def check_churn_claims(fresh: dict[str, dict]) -> list[str]:
+    """Fresh-run acceptance claims of the churn family: repair must beat
+    the cold re-solve by the floor, and never by giving a worse answer
+    than the regret tolerance allows."""
+    from benchmarks.kernels import CHURN_MIN_SPEEDUP
+
+    from repro.solve.repatch import REPATCH_TOLERANCE
+
+    kernel = fresh.get("churn_repair_vs_resolve")
+    if kernel is None:
+        return []
+    failures = []
+    if kernel["median_speedup"] < CHURN_MIN_SPEEDUP:
+        failures.append(
+            f"churn_repair_vs_resolve: repair/re-solve median speedup "
+            f"{kernel['median_speedup']}x below the {CHURN_MIN_SPEEDUP}x "
+            f"acceptance floor (repair {kernel['repair_median_ms']}ms vs "
+            f"re-solve {kernel['resolve_median_ms']}ms)"
+        )
+    if kernel["max_regret"] > REPATCH_TOLERANCE:
+        failures.append(
+            f"churn_repair_vs_resolve: repaired completion regret "
+            f"{kernel['max_regret']} exceeds the {REPATCH_TOLERANCE} "
+            f"tolerance"
+        )
+    return failures
+
+
 def _families() -> list[dict]:
     from benchmarks.kernels import (
+        CHURN_KERNELS,
         KERNELS,
         ONLINE_KERNELS,
         REPLAY_KERNELS,
@@ -259,6 +317,13 @@ def _families() -> list[dict]:
             "kernels": REPLAY_KERNELS,
             "payload": build_replay_payload,
             "check": check_replay_claims,
+        },
+        {
+            "name": "churn",
+            "path": CHURN_BASELINE_PATH,
+            "kernels": CHURN_KERNELS,
+            "payload": build_churn_payload,
+            "check": check_churn_claims,
         },
     ]
 

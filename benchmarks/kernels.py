@@ -726,3 +726,148 @@ REPLAY_KERNELS: dict[str, Callable[[], dict]] = {
     "replay_zipf_validation": kernel_replay_zipf,
     "adapter_route_memo": kernel_adapter_route_memo,
 }
+
+
+# ---------------------------------------------------------------------------
+# The churn acceptance workload: incremental repatch vs cold re-solve
+# ---------------------------------------------------------------------------
+
+#: acceptance floor: repairing a churned schedule must be at least this
+#: many times faster (median over episodes) than re-solving the remaining
+#: work cold on the mutated platform.
+CHURN_MIN_SPEEDUP = 3.0
+
+#: episodes (seeded platforms × a fixed churn mix) in the workload.
+CHURN_EPISODES = 6
+CHURN_LEGS = 8
+CHURN_LEG_DEPTH = 3
+CHURN_N = 160
+
+#: repeats per episode when timing one repair / one re-solve (min taken —
+#: both paths are deterministic).
+CHURN_TIMING_ROUNDS = 3
+
+
+def churn_workload() -> list[tuple[Spider, list[dict]]]:
+    """(platform, churn events) per episode.  The mix exercises all three
+    event kinds: one whole leg leaves, another leg's head link drifts 2×
+    slower, and a fresh fast leg joins — all at one instant so the repair
+    has a single prefix boundary to honour."""
+    episodes = []
+    for i in range(CHURN_EPISODES):
+        spider = Spider([
+            random_chain(CHURN_LEG_DEPTH, seed=500 + CHURN_LEGS * i + j)
+            for j in range(CHURN_LEGS)
+        ])
+        # churn hits halfway into the committed schedule: a healthy chunk
+        # of work is already committed (the regime repair exists for), yet
+        # plenty remains for the cold re-solve to chew on
+        from repro.solve import Problem, solve
+
+        base_makespan = solve(Problem(spider, "makespan", n=CHURN_N)).makespan
+        t = max(1, base_makespan // 2)
+        events = [
+            {"op": "leave", "time": t, "processor": [1 + i % CHURN_LEGS, 1]},
+            {"op": "drift", "time": t,
+             "processor": [1 + (i + 1) % CHURN_LEGS, 1], "c_factor": 2},
+            {"op": "join", "time": t, "c": [1], "w": [2]},
+        ]
+        episodes.append((spider, events))
+    return episodes
+
+
+def kernel_churn_repair() -> dict:
+    """The churn acceptance kernel: repair vs cold re-solve per episode.
+
+    Times exactly the two live options a serving system has once the churn
+    trace is known: :func:`repro.solve.repatch.repatch_schedule` (the
+    repair) vs :func:`~repro.solve.repatch.cold_resolve` (re-solving the
+    not-yet-done work offline on the mutated platform); both consume the
+    same precomputed :class:`~repro.sim.churn.ChurnTrace`.  Inside the
+    kernel every repaired schedule is replay-validated on the mutated
+    platform and its kept prefix checked bit-identical against the base
+    schedule, so the speedup can never come from a wrong answer.  *Regret*
+    is the repaired completion over the clairvoyant cold total (which
+    discards in-flight work for free); the tolerance claim bounds its max.
+    """
+    from statistics import median
+
+    from repro.sim.churn import apply_churn
+    from repro.sim.replay_fast import verify_schedule
+    from repro.solve import Problem, solve
+    from repro.solve.repatch import (
+        REPATCH_TOLERANCE,
+        cold_resolve,
+        repatch_schedule,
+    )
+
+    def once() -> dict:
+        episodes = churn_workload()
+        t0 = time.perf_counter()
+        repair_times: list[float] = []
+        resolve_times: list[float] = []
+        speedups: list[float] = []
+        regrets: list[float] = []
+        kept_total = replanned_total = moved_total = 0
+        for spider, events in episodes:
+            base = solve(Problem(spider, "makespan", n=CHURN_N))
+            # both contenders consume the same precomputed trace — the
+            # timing compares the two *planning* strategies, not the
+            # shared event bookkeeping
+            churn = apply_churn(spider, events)
+            per_repair = []
+            result = None
+            for _ in range(CHURN_TIMING_ROUNDS):
+                r0 = time.perf_counter()
+                result = repatch_schedule(base.schedule, churn)
+                per_repair.append(time.perf_counter() - r0)
+            per_resolve = []
+            cold_total = None
+            for _ in range(CHURN_TIMING_ROUNDS):
+                r0 = time.perf_counter()
+                _, _, cold_total = cold_resolve(base.schedule, churn)
+                per_resolve.append(time.perf_counter() - r0)
+            re, co = min(per_resolve), min(per_repair)
+            repair_times.append(co)
+            resolve_times.append(re)
+            speedups.append(re / co)
+            regret = result.completed_makespan / cold_total
+            regrets.append(regret)
+            assert regret <= REPATCH_TOLERANCE, (
+                f"repair lost to cold re-solve beyond tolerance ({regret})"
+            )
+            # never trade correctness for speed: replay on the mutated
+            # platform + bit-identical prefix, asserted every run
+            verify_schedule(result.schedule, None)
+            kmap = churn.key_map
+            for task in result.kept + result.kept_done:
+                old, new = base.schedule[task], result.schedule[task]
+                assert new.processor == kmap[old.processor]
+                assert new.start == old.start
+                assert tuple(new.comms) == tuple(old.comms)
+            kept_total += len(result.kept) + len(result.kept_done)
+            replanned_total += len(result.replanned)
+            moved_total += len(result.moved)
+        seconds = time.perf_counter() - t0
+        return {
+            "seconds": seconds,
+            "episodes": len(episodes),
+            "n": CHURN_N,
+            "kept": kept_total,
+            "replanned": replanned_total,
+            "moved": moved_total,
+            "repair_median_ms": round(median(repair_times) * 1e3, 3),
+            "resolve_median_ms": round(median(resolve_times) * 1e3, 3),
+            "median_speedup": round(median(speedups), 2),
+            "min_speedup": round(min(speedups), 2),
+            "median_regret": round(median(regrets), 4),
+            "max_regret": round(max(regrets), 4),
+        }
+
+    return _best_of(once, 2)
+
+
+#: churn kernels live in their own baseline file (``BENCH_churn.json``).
+CHURN_KERNELS: dict[str, Callable[[], dict]] = {
+    "churn_repair_vs_resolve": kernel_churn_repair,
+}

@@ -66,7 +66,11 @@ EXECUTOR_MODES = {"processes": "process", "threads": "thread"}
 
 def _dispatch_mode(scenario: Scenario) -> str:
     """The registry mode a scenario dispatches through."""
-    return "online" if scenario.kind == "online" else "offline"
+    if scenario.kind == "online":
+        return "online"
+    if scenario.kind == "churn":
+        return "repatch"
+    return "offline"
 
 
 def _caps_cover(caps_budget: object, n: Optional[int]) -> bool:
@@ -158,7 +162,7 @@ def run_group(
                 )
                 problem = Problem(
                     platform,
-                    "makespan" if sc.kind == "online" else sc.kind,
+                    "makespan" if sc.kind in ("online", "churn") else sc.kind,
                     n=sc.n,
                     t_lim=sc.t_lim,
                     allocator=sc.allocator,
@@ -168,7 +172,7 @@ def run_group(
                 )
                 solver.check_claims(problem)
                 cached: Optional[bool] = None
-                if store is not None and problem.mode == "offline":
+                if store is not None and problem.mode in ("offline", "repatch"):
                     from ..service.engine import cached_solve
 
                     outcome = cached_solve(problem, store)
@@ -203,6 +207,7 @@ def run_group(
                     validated=True if validate else None,
                     validated_by=row_engine,
                     cached=cached,
+                    reissue_of=solution.extra.get("reissue_of"),
                 )
                 if sc.kind == "deadline" and solution.warm_caps is not None:
                     caps, caps_budget = dict(solution.warm_caps), sc.n

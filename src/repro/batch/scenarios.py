@@ -24,8 +24,10 @@ from ..io.json_io import PLATFORM_KINDS
 SCENARIO_SCHEMA = 1
 
 #: ``"online"`` answers through the registered online solver (policies /
-#: fault injection via ``options``); the other two through offline solvers.
-_KINDS = ("makespan", "deadline", "online")
+#: fault injection via ``options``); ``"churn"`` through the repatch
+#: solver (``options["churn"]`` holds the event list); the other two
+#: through offline solvers.
+_KINDS = ("makespan", "deadline", "online", "churn")
 
 
 class BatchError(ReproError):
@@ -54,14 +56,21 @@ class Scenario:
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
             raise BatchError(f"scenario {self.id!r}: unknown kind {self.kind!r}")
-        if self.kind in ("makespan", "online") and (self.n is None or self.n < 1):
+        if self.kind in ("makespan", "online", "churn") and (
+            self.n is None or self.n < 1
+        ):
             raise BatchError(f"scenario {self.id!r}: {self.kind} needs n >= 1")
         if self.kind == "deadline" and self.t_lim is None:
             raise BatchError(f"scenario {self.id!r}: deadline needs t_lim")
-        if self.kind == "online" and self.t_lim is not None:
+        if self.kind in ("online", "churn") and self.t_lim is not None:
             raise BatchError(
-                f"scenario {self.id!r}: online runs take no t_lim — policies "
-                "have no deadline notion; they run all n tasks to completion"
+                f"scenario {self.id!r}: {self.kind} runs take no t_lim — "
+                "they run all n tasks to completion"
+            )
+        if self.kind == "churn" and not self.options.get("churn"):
+            raise BatchError(
+                f"scenario {self.id!r}: churn scenarios need "
+                "options['churn'] with at least one event"
             )
         if not isinstance(self.platform, Mapping):
             raise BatchError(
@@ -141,6 +150,9 @@ class ScenarioResult:
     #: True when the answer came from the solution store, False when the
     #: cache was consulted but missed; None when no cache was configured.
     cached: Optional[bool] = None
+    #: fault/churn runs: reissued trace id → original task id, so regret
+    #: attributes to the task that actually paid for the reissue.
+    reissue_of: Optional[Mapping[int, int]] = None
 
     def to_dict(self) -> dict[str, Any]:
         d: dict[str, Any] = {
@@ -155,6 +167,9 @@ class ScenarioResult:
             value = getattr(self, key)
             if value is not None:
                 d[key] = value
+        if self.reissue_of is not None:
+            # JSON keys are strings; keep the shape round-trippable
+            d["reissue_of"] = {str(k): v for k, v in self.reissue_of.items()}
         if self.stats:
             d["stats"] = dict(self.stats)
         return d
@@ -177,6 +192,10 @@ class ScenarioResult:
             validated=d.get("validated"),
             validated_by=d.get("validated_by"),
             cached=d.get("cached"),
+            reissue_of=(
+                None if d.get("reissue_of") is None
+                else {int(k): v for k, v in d["reissue_of"].items()}
+            ),
         )
 
 

@@ -24,6 +24,10 @@ Commands
 ``failures``
     Online run with injected fail-stop workers:
     ``repro failures --leg 1/4,2/3 --leg 5/7 -n 20 --kill 6@1,1``.
+``repatch``
+    Incremental repair of a committed schedule under platform churn:
+    ``repro repatch --leg 1/4,2/3 --leg 5/7 -n 20 --leave 6@1,1``
+    (also ``--join T@SPEC`` and ``--drift T@PROC*FACTORS``).
 ``fig7``
     DOT rendering of the chain→fork transformation at a deadline.
 ``batch``
@@ -146,6 +150,64 @@ def _platform_from_args(args) -> Any:
     raise SystemExit("no platform given (use --c/--w, --leg, --child or --platform)")
 
 
+def _parse_time(text: str):
+    return int(text) if text.lstrip("-").isdigit() else float(text)
+
+
+def _parse_proc(text: str):
+    """``2`` -> 2 (chain/star/tree), ``1,2`` -> [1, 2] (spider)."""
+    return (
+        [int(x) for x in text.split(",")] if "," in text else int(text)
+    )
+
+
+def _parse_churn_args(args) -> list[dict]:
+    """The ``--leave/--join/--drift`` specs as churn event dicts."""
+
+    def scalar(tok: str):
+        tok = tok.strip()
+        return int(tok) if tok.lstrip("-").isdigit() else float(tok)
+
+    events: list[dict] = []
+    for spec in args.leave:
+        time_part, proc_part = spec.split("@", 1)
+        events.append({"op": "leave", "time": _parse_time(time_part),
+                       "processor": _parse_proc(proc_part)})
+    for spec in args.join:
+        time_part, body = spec.split("@", 1)
+        event: dict = {"op": "join", "time": _parse_time(time_part)}
+        for pair in body.split(","):
+            key, _, value = pair.partition("=")
+            if not value:
+                raise SystemExit(
+                    f"--join spec needs key=value pairs, got {pair!r}"
+                )
+            parsed = (
+                [scalar(v) for v in value.split(";")]
+                if ";" in value else scalar(value)
+            )
+            event[key.strip()] = parsed
+        events.append(event)
+    for spec in args.drift:
+        head, star, factors = spec.partition("*")
+        if not star:
+            raise SystemExit(
+                f"--drift spec needs T@PROC*FACTORS, got {spec!r}"
+            )
+        time_part, proc_part = head.split("@", 1)
+        event = {"op": "drift", "time": _parse_time(time_part),
+                 "processor": _parse_proc(proc_part)}
+        for factor in factors.split(","):
+            factor = factor.strip()
+            if factor[:1] not in ("c", "w"):
+                raise SystemExit(
+                    f"--drift factors are cF and/or wF, got {factor!r}"
+                )
+            event[f"{factor[0]}_factor"] = scalar(factor[1:])
+        events.append(event)
+    return events
+
+
 def _solver_lines() -> str:
     """The registered-solver list, one line per solver (drives batch help)."""
     return "\n".join(
@@ -250,6 +312,43 @@ def build_parser() -> argparse.ArgumentParser:
         "(spider leg,pos); repeatable",
     )
 
+    p = sub.add_parser(
+        "repatch",
+        help="repair a committed schedule against platform churn",
+        description=(
+            "Solve offline, mutate the platform per the churn events, and "
+            "repair the committed schedule incrementally (mode=\"repatch\" "
+            "through the solver registry): work finished or in flight "
+            "before the churn instant is kept bit-identically, the rest is "
+            "re-routed around it on the mutated platform."
+        ),
+    )
+    p.add_argument("--c", help="chain link latencies")
+    p.add_argument("--w", help="chain processing times")
+    p.add_argument("--leg", action="append")
+    p.add_argument("--child", action="append")
+    p.add_argument("--platform")
+    p.add_argument("-n", type=int, required=True)
+    p.add_argument(
+        "--leave", action="append", default=[], metavar="T@PROC",
+        help="processor leave time@processor, e.g. 6@2 (star child) or "
+        "6@1,2 (spider leg,pos); repeatable",
+    )
+    p.add_argument(
+        "--join", action="append", default=[], metavar="T@SPEC",
+        help="processor join time@spec with key=value pairs, ';' separating "
+        "list items: 4@c=1,w=2 (chain/star), 4@c=1;2,w=3;4 (new spider "
+        "leg), 4@leg=2,c=1,w=2 (extend a leg), 4@parent=0,c=1,w=2 (tree); "
+        "repeatable",
+    )
+    p.add_argument(
+        "--drift", action="append", default=[], metavar="T@PROC*FACTORS",
+        help="bandwidth/work drift time@processor*factors, factors being "
+        "cF and/or wF: 4@2*w2 doubles child 2's work, 4@1,2*c0.5,w2 "
+        "rescales a spider processor's link and CPU; repeatable",
+    )
+    _add_output_flags(p)
+
     p = sub.add_parser("fig7", help="DOT of the chain→fork transformation")
     p.add_argument("--leg", action="append")
     p.add_argument("--c", help="chain link latencies")
@@ -316,6 +415,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="in-memory LRU capacity (default 256)")
     p.add_argument("--tcp", metavar="HOST:PORT",
                    help="serve over TCP instead of stdio (PORT 0 = ephemeral)")
+    p.add_argument("--request-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-request solve deadline; slower requests answer "
+                   "with error kind 'timeout' (default: unbounded)")
     p.add_argument("--no-verify-rebinds", action="store_true",
                    help="skip the compiled replay check of rebound answers "
                    "(served answers are then only validated on store write)")
@@ -333,7 +436,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    from .core.types import InfeasibleScheduleError
+    from .core.types import InfeasibleScheduleError, ReproError
     from .solve.problem import NoSolverError, ValidationError
 
     try:
@@ -347,6 +450,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     except InfeasibleScheduleError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_INFEASIBLE
+    except ReproError as exc:
+        # any other library error (bad churn spec, solve failure, ...):
+        # report cleanly instead of dumping a traceback at the operator
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
 
 
 def _run(args) -> int:
@@ -484,6 +592,29 @@ def _run(args) -> int:
             print(f"survivors: {sol.schedule.adapter.processors()}")
         return 0
 
+    if args.command == "repatch":
+        platform = _platform_from_args(args)
+        events = _parse_churn_args(args)
+        if not events:
+            raise SystemExit(
+                "repatch needs at least one --leave/--join/--drift event"
+            )
+        sol = solve(Problem(platform, "makespan", n=args.n, mode="repatch",
+                            options={"churn": events}))
+        sol.validate()
+        print(f"base: {sol.extra['base_solver']} solver, "
+              f"makespan {sol.extra['base_makespan']}")
+        print(f"churn: {len(sol.extra['churn'])} event(s) applied at "
+              f"t={sol.extra['instant']}")
+        print(f"kept: {sol.stats['kept']} placed + {sol.stats['kept_done']} "
+              f"done   replanned: {sol.stats['replanned']}   "
+              f"moved: {sol.stats['moved']}")
+        if sol.stats["done_off"]:
+            print(f"done off-platform before churn: {sol.stats['done_off']}")
+        print(f"completed makespan: {sol.extra['completed_makespan']}")
+        _emit(sol.schedule, args)
+        return 0
+
     if args.command == "fig7":
         from .platforms.chain import Chain as _Chain
         from .viz.transformation import transformation_to_dot
@@ -549,7 +680,8 @@ def _run(args) -> int:
                               engine=args.engine)
         service = ScheduleService(store=store, workers=args.workers,
                                   verify_rebinds=not args.no_verify_rebinds,
-                                  engine=args.engine)
+                                  engine=args.engine,
+                                  request_timeout=args.request_timeout)
         try:
             if args.tcp:
                 host, sep, port = args.tcp.rpartition(":")

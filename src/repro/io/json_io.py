@@ -203,12 +203,16 @@ def solution_from_dict(d: Mapping[str, Any]) -> Any:
         raise ReproError(f"not a solution payload: {d.get('record')!r}")
     problem = problem_from_dict(d["problem"])
     raw_sched = d.get("schedule")
-    # bind the schedule to the problem's platform object so solution.schedule
-    # and solution.problem.platform stay the *same* instance, as when solved
-    schedule = (
-        None if raw_sched is None
-        else Schedule.from_dict(raw_sched, platform=problem.platform)
-    )
+    if raw_sched is None:
+        schedule = None
+    elif raw_sched.get("platform") == problem.platform.to_dict():
+        # bind the schedule to the problem's platform object so
+        # solution.schedule and solution.problem.platform stay the *same*
+        # instance, as when solved
+        schedule = Schedule.from_dict(raw_sched, platform=problem.platform)
+    else:
+        # repatch answers live on the *mutated* platform, not the problem's
+        schedule = Schedule.from_dict(raw_sched)
     warm = d.get("warm_caps")
     raw_trace = d.get("trace")
     return Solution(

@@ -61,6 +61,7 @@ __all__ = [
     "canonical_form",
     "platform_fingerprint",
     "problem_fingerprint",
+    "repatch_fingerprint",
 ]
 
 
@@ -277,6 +278,33 @@ def problem_fingerprint(problem: Any, canon: CanonicalForm | None = None) -> str
         f"mode={problem.mode}",
         f"n={'n' if problem.n is None else _num_token(problem.n)}",
         f"tlim={'n' if problem.t_lim is None else _num_token(problem.t_lim)}",
+        f"alloc={problem.allocator}",
+        "opts=" + _encode_value(dict(problem.options)),
+    ]
+    return _digest("|".join(parts))
+
+
+def repatch_fingerprint(problem: Any) -> str:
+    """Content address of one *repatch* request (platform-delta + question).
+
+    Unlike :func:`problem_fingerprint` this is **not** relabeling-invariant:
+    a repatch answer's schedule lives on the mutated platform and is served
+    verbatim (no rebind step exists for it), so a hit must match the request
+    platform bit-for-bit.  The churn events ride in ``options["churn"]``
+    and the base solve's options in ``options["base"]``, so the digest
+    covers the full (platform, trace-prefix, repair-question) identity.
+    """
+    import json as _json
+
+    try:
+        plat = _json.dumps(problem.platform.to_dict(), sort_keys=True)
+    except (TypeError, ValueError) as exc:
+        raise CanonError(f"platform is not JSON-encodable: {exc}") from exc
+    parts = [
+        "repatch",
+        _digest(plat),
+        f"kind={problem.kind}",
+        f"n={'n' if problem.n is None else _num_token(problem.n)}",
         f"alloc={problem.allocator}",
         "opts=" + _encode_value(dict(problem.options)),
     ]

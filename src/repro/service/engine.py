@@ -47,10 +47,15 @@ __all__ = [
     "CachedOutcome",
     "LINE_LIMIT",
     "ScheduleService",
+    "ServiceClosingError",
     "cache_key",
     "cached_solve",
     "rebind_solution",
 ]
+
+
+class ServiceClosingError(RuntimeError):
+    """The service is draining for shutdown and takes no new work."""
 
 #: max bytes of one protocol line (asyncio's 64 KiB default chokes on big
 #: platforms — a large tree's solve request is one long JSON line).
@@ -70,15 +75,25 @@ class CachedOutcome:
     coalesced: bool = False
 
 
-def cache_key(problem: Problem) -> Optional[tuple[str, CanonicalForm]]:
+def cache_key(
+    problem: Problem,
+) -> Optional[tuple[str, Optional[CanonicalForm]]]:
     """``(fingerprint, canonical form)`` of a cacheable problem, else ``None``.
 
-    Only offline problems are cacheable: online answers carry execution
-    traces (and possibly callable policies) whose identity is the *run*,
-    not the question."""
-    if problem.mode != "offline":
-        return None
+    Offline problems are cacheable through relabeling-invariant canonical
+    fingerprints; repatch problems through the *exact*
+    :func:`~repro.service.canon.repatch_fingerprint` (their answers live on
+    the mutated platform and are served verbatim — ``canon`` is ``None``
+    and no rebinding happens).  Online answers carry execution traces (and
+    possibly callable policies) whose identity is the *run*, not the
+    question, so they are never cached."""
     try:
+        if problem.mode == "repatch":
+            from .canon import repatch_fingerprint
+
+            return repatch_fingerprint(problem), None
+        if problem.mode != "offline":
+            return None
         canon = canonical_form(problem.platform)
         return problem_fingerprint(problem, canon), canon
     except (CanonError, RecursionError):
@@ -87,17 +102,30 @@ def cache_key(problem: Problem) -> Optional[tuple[str, CanonicalForm]]:
 
 
 def rebind_solution(
-    solution: Solution, problem: Problem, canon: CanonicalForm
+    solution: Solution, problem: Problem, canon: Optional[CanonicalForm]
 ) -> Solution:
     """Re-express a canonical-coordinates ``solution`` on ``problem``'s
     platform (isomorphic by construction): every task keeps its times and
     its communication vector, only the processor key is mapped.
+
+    ``canon=None`` (repatch answers, keyed by *exact* fingerprints) means
+    serve verbatim: the stored schedule already lives on the mutated
+    platform the request implies, so only the problem record is swapped.
 
     ``warm_caps`` are dropped (they index canonical legs) and solver
     ``extra`` detail is kept as-is — it reports canonical coordinates.
     """
     if solution.schedule is None:
         raise CanonError("cannot rebind a trace-only solution")
+    if canon is None:
+        return Solution(
+            problem,
+            solution.schedule,
+            solution.solver,
+            stats=dict(solution.stats),
+            warm_caps=None,
+            extra=dict(solution.extra),
+        )
     assignments = {
         t: TaskAssignment(
             t, canon.from_canonical[a.processor], a.start, a.comms
@@ -115,13 +143,20 @@ def rebind_solution(
 
 
 def _solve_canonical(
-    problem: Problem, fingerprint: str, canon: CanonicalForm, store: SolutionStore
+    problem: Problem,
+    fingerprint: str,
+    canon: Optional[CanonicalForm],
+    store: SolutionStore,
 ) -> Solution:
-    """Solve the canonical representative and admit it to the store."""
-    canonical_problem = replace(
-        problem, platform=canon.platform, warm_caps=None
-    )
-    solution = solve(canonical_problem)
+    """Solve the canonical representative (or, for repatch, the problem
+    itself — ``canon=None``) and admit the answer to the store."""
+    if canon is None:
+        solution = solve(problem)
+    else:
+        canonical_problem = replace(
+            problem, platform=canon.platform, warm_caps=None
+        )
+        solution = solve(canonical_problem)
     store.put(fingerprint, solution)  # replay-validates before admitting
     return solution
 
@@ -146,12 +181,17 @@ def cached_solve(
     fingerprint, canon = key
     hit = store.get(fingerprint)
     if hit is not None:
-        rebound = rebind_solution(hit, problem, canon)
-        if verify_rebind:
-            rebound.validate(engine=engine)
-        return CachedOutcome(
-            rebound, cached=True, fingerprint=fingerprint,
-        )
+        try:
+            rebound = rebind_solution(hit, problem, canon)
+            if verify_rebind:
+                rebound.validate(engine=engine)
+            return CachedOutcome(
+                rebound, cached=True, fingerprint=fingerprint,
+            )
+        except Exception as exc:
+            # a hit that no longer rebinds/replays is damaged evidence:
+            # quarantine it and answer by solving fresh
+            store.quarantine(fingerprint, f"{type(exc).__name__}: {exc}")
     solution = _solve_canonical(problem, fingerprint, canon, store)
     rebound = rebind_solution(solution, problem, canon)
     if verify_rebind:
@@ -179,11 +219,16 @@ class ScheduleService:
         workers: int = 2,
         verify_rebinds: bool = True,
         engine: Optional[str] = None,
+        request_timeout: Optional[float] = None,
     ) -> None:
         from ..sim.replay_fast import resolve_engine
 
         if workers < 1:
             raise ValueError(f"service needs >= 1 worker, got {workers}")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError(
+                f"request_timeout must be > 0, got {request_timeout}"
+            )
         self.store = store if store is not None else SolutionStore()
         self.workers = workers
         #: replay-validate every rebound answer on the request's platform
@@ -193,20 +238,28 @@ class ScheduleService:
         #: replay kernel for the rebind checks (None → compiled; "event"
         #: routes serve-time verification through the oracle executor).
         self.engine = engine
+        #: per-request deadline in seconds applied by the protocol layer
+        #: (``None`` → unbounded); a request may tighten it with its own
+        #: ``deadline`` field but never loosen past this.
+        self.request_timeout = request_timeout
         resolve_engine(engine)  # reject typos before serving starts
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve"
         )
         self._inflight: dict[str, asyncio.Future] = {}
+        self._closing = False
         self.requests = 0
         self.coalesced = 0
         self.errors = 0
+        self.timeouts = 0
 
     # -- core ---------------------------------------------------------------
 
     async def submit(self, problem: Problem) -> CachedOutcome:
         """Serve one problem (see class docstring for the flow)."""
         loop = asyncio.get_running_loop()
+        if self._closing:
+            raise ServiceClosingError("service is shutting down")
         self.requests += 1
         key = cache_key(problem)
         try:
@@ -232,35 +285,51 @@ class ScheduleService:
                 )
             hit = self.store.get(fingerprint)
             if hit is not None:
-                rebound = await loop.run_in_executor(
-                    self._pool, self._rebound, hit, problem, canon
-                )
-                return CachedOutcome(
-                    rebound, cached=True, fingerprint=fingerprint,
-                )
+                try:
+                    rebound = await loop.run_in_executor(
+                        self._pool, self._rebound, hit, problem, canon
+                    )
+                    return CachedOutcome(
+                        rebound, cached=True, fingerprint=fingerprint,
+                    )
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    # damaged evidence: quarantine and solve fresh below
+                    self.store.quarantine(
+                        fingerprint, f"{type(exc).__name__}: {exc}"
+                    )
             future: asyncio.Future = loop.create_future()
             self._inflight[fingerprint] = future
-            try:
-                solution = await loop.run_in_executor(
-                    self._pool, _solve_canonical,
-                    problem, fingerprint, canon, self.store,
-                )
-            except BaseException as exc:
-                if not future.done():
+
+            def _transfer(done: asyncio.Future) -> None:
+                # runs even if this requester was cancelled at a deadline:
+                # coalesced waiters still get the answer, and the in-flight
+                # slot is freed exactly once
+                self._inflight.pop(fingerprint, None)
+                if future.done():
+                    return
+                exc = done.exception()
+                if exc is not None:
                     future.set_exception(exc)
                     future.exception()  # consumed: no never-retrieved warning
-                raise
-            else:
-                if not future.done():
-                    future.set_result(solution)
-            finally:
-                self._inflight.pop(fingerprint, None)
+                else:
+                    future.set_result(done.result())
+
+            exec_future = loop.run_in_executor(
+                self._pool, _solve_canonical,
+                problem, fingerprint, canon, self.store,
+            )
+            exec_future.add_done_callback(_transfer)
+            solution = await asyncio.shield(future)
             rebound = await loop.run_in_executor(
                 self._pool, self._rebound, solution, problem, canon
             )
             return CachedOutcome(
                 rebound, cached=False, fingerprint=fingerprint,
             )
+        except asyncio.CancelledError:
+            raise  # a deadline firing is the *request's* outcome, not an error
         except Exception:
             self.errors += 1
             raise
@@ -276,12 +345,43 @@ class ScheduleService:
             "requests": self.requests,
             "coalesced": self.coalesced,
             "errors": self.errors,
+            "timeouts": self.timeouts,
             "inflight": len(self._inflight),
             "workers": self.workers,
+            "closing": self._closing,
             "store": self.store.stats.to_dict(),
         }
 
+    # -- shutdown -----------------------------------------------------------
+
+    @property
+    def closing(self) -> bool:
+        return self._closing
+
+    def begin_shutdown(self) -> None:
+        """Stop admitting work; in-flight solves keep running (drain them
+        with :meth:`drain`)."""
+        self._closing = True
+
+    async def drain(self) -> None:
+        """Wait until every in-flight solve has resolved (their outcomes —
+        including failures — are consumed here, not re-raised)."""
+        while self._inflight:
+            futures = list(self._inflight.values())
+            await asyncio.gather(*futures, return_exceptions=True)
+            # _transfer pops entries from a done-callback; yield once so
+            # callbacks scheduled after the gather get to run
+            await asyncio.sleep(0)
+
+    async def aclose(self) -> None:
+        """Graceful async shutdown: refuse new work, drain in-flight
+        solves, then release the pool and the store."""
+        self.begin_shutdown()
+        await self.drain()
+        self.close()
+
     def close(self) -> None:
+        self._closing = True
         self._pool.shutdown(wait=True)
         self.store.close()
 

@@ -21,9 +21,15 @@ Solve responses::
     {"id": "r1", "ok": true, "cached": false, "coalesced": false,
      "fingerprint": "…", "solution": { ...solution_to_dict... }}
 
+A solve request may carry ``"deadline": seconds``; the server also
+enforces its own ``request_timeout`` ceiling (the tighter one wins) and
+answers an expired request with ``error_kind:"timeout"`` instead of
+holding the connection.
+
 Errors come back as ``{"ok": false, "error": "…", "error_kind": k}`` with
 ``k`` ∈ ``no_solver`` / ``infeasible`` / ``validation`` / ``bad_request`` /
-``error`` — the same taxonomy the CLI maps to exit codes.
+``timeout`` / ``shutting_down`` / ``error`` — the same taxonomy the CLI
+maps to exit codes.
 
 :class:`ServiceClient` is the synchronous counterpart used by tests and
 the CI smoke job: it spawns ``repro serve`` as a subprocess (stdio
@@ -33,15 +39,21 @@ blockingly, one request at a time.
 
 from __future__ import annotations
 
+import asyncio
 import json
+import os
+import random
+import select
 import subprocess
 import sys
+import time
 from typing import Any, Mapping, Optional
 
 from ..core.types import InfeasibleScheduleError, ReproError
 from ..io.json_io import problem_from_dict, problem_to_dict, solution_from_dict, solution_to_dict
 from ..solve import Problem, Solution
 from ..solve.problem import NoSolverError, ValidationError
+from .engine import ServiceClosingError
 
 PROTOCOL_VERSION = 1
 
@@ -49,6 +61,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "ServiceClient",
     "ServiceError",
+    "ServiceTimeout",
     "error_kind_of",
     "handle_request",
     "smoke",
@@ -63,6 +76,21 @@ class ServiceError(ReproError):
         super().__init__(message)
 
 
+class ServiceTimeout(ServiceError):
+    """The client-side deadline fired before a response line arrived."""
+
+    def __init__(self, message: str):
+        super().__init__(message, kind="timeout")
+
+
+#: client-side error kinds worth retrying on an idempotent op: the request
+#: may or may not have been served, but re-asking cannot corrupt anything.
+_RETRYABLE_KINDS = frozenset({"timeout", "connection"})
+#: ops safe to re-send — asking twice computes (at most) twice but answers
+#: identically; ``shutdown`` is excluded (the first one may have landed).
+_IDEMPOTENT_OPS = frozenset({"solve", "stats", "ping"})
+
+
 def error_kind_of(exc: BaseException) -> str:
     """The protocol's error taxonomy (shared with the CLI's exit codes)."""
     if isinstance(exc, NoSolverError):
@@ -71,6 +99,10 @@ def error_kind_of(exc: BaseException) -> str:
         return "validation"
     if isinstance(exc, InfeasibleScheduleError):
         return "infeasible"
+    if isinstance(exc, (asyncio.TimeoutError, TimeoutError)):
+        return "timeout"
+    if isinstance(exc, ServiceClosingError):
+        return "shutting_down"
     return "error"
 
 
@@ -99,8 +131,22 @@ async def handle_request(service: Any, raw_line: str) -> dict[str, Any]:
         return {"id": rid, "ok": False,
                 "error": f"bad problem payload: {type(exc).__name__}: {exc}",
                 "error_kind": "bad_request"}
+    # per-request deadline: the service's configured ceiling, tightened
+    # (never loosened) by the request's own "deadline" field
+    deadline = getattr(service, "request_timeout", None)
+    requested = request.get("deadline")
+    if isinstance(requested, (int, float)) and requested > 0:
+        deadline = requested if deadline is None else min(deadline, requested)
     try:
-        outcome = await service.submit(problem)
+        if deadline is not None:
+            outcome = await asyncio.wait_for(service.submit(problem), deadline)
+        else:
+            outcome = await service.submit(problem)
+    except asyncio.TimeoutError:
+        service.timeouts = getattr(service, "timeouts", 0) + 1
+        return {"id": rid, "ok": False,
+                "error": f"request exceeded its {deadline}s deadline",
+                "error_kind": "timeout"}
     except Exception as exc:  # noqa: BLE001 - one bad request must not kill the loop
         return {"id": rid, "ok": False,
                 "error": f"{type(exc).__name__}: {exc}",
@@ -120,15 +166,36 @@ class ServiceClient:
 
     Construct via :meth:`spawn` (fresh ``repro serve`` subprocess over
     stdio) or :meth:`connect` (TCP).  Use as a context manager; one
-    request in flight at a time."""
+    request in flight at a time.
+
+    **Resilience** (all off by default): ``timeout`` bounds how long one
+    request waits for its response line; ``retries`` re-sends *idempotent*
+    ops (solve / stats / ping) after a timeout or connection failure, with
+    exponential backoff and full jitter starting at ``backoff`` seconds.
+    Each retry reconnects first — after a stall the old stream's framing
+    cannot be trusted (a late response line would answer the wrong
+    request).  Non-idempotent ops (shutdown) never retry."""
 
     def __init__(self, reader, writer, proc: Optional[subprocess.Popen] = None,
-                 sock=None):
+                 sock=None, timeout: Optional[float] = None, retries: int = 0,
+                 backoff: float = 0.1):
         self._reader = reader
         self._writer = writer
         self._proc = proc
         self._sock = sock
         self._next_id = 0
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self._buf = b""
+        self._respawn: Optional[tuple] = None  # spawn() args, for reconnects
+        self._addr: Optional[tuple] = None  # (host, port), for reconnects
+        try:
+            self._fd: Optional[int] = (
+                sock.fileno() if sock is not None else reader.fileno()
+            )
+        except (AttributeError, OSError):
+            self._fd = None  # exotic reader (tests): fall back to readline()
 
     # -- transports ----------------------------------------------------------
 
@@ -138,6 +205,9 @@ class ServiceClient:
         store_path: Optional[str] = None,
         workers: int = 2,
         capacity: int = 256,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        backoff: float = 0.1,
     ) -> "ServiceClient":
         """Launch ``repro serve`` (stdio transport) and connect to it."""
         cmd = [sys.executable, "-m", "repro", "serve",
@@ -148,37 +218,153 @@ class ServiceClient:
             cmd, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
             stderr=subprocess.PIPE, text=True,
         )
-        return cls(proc.stdout, proc.stdin, proc)
+        client = cls(proc.stdout, proc.stdin, proc,
+                     timeout=timeout, retries=retries, backoff=backoff)
+        client._respawn = (store_path, workers, capacity)
+        return client
 
     @classmethod
-    def connect(cls, host: str, port: int) -> "ServiceClient":
+    def connect(cls, host: str, port: int, timeout: Optional[float] = None,
+                retries: int = 0, backoff: float = 0.1) -> "ServiceClient":
         """Connect to a ``repro serve --tcp`` endpoint."""
         import socket
 
         sock = socket.create_connection((host, port))
-        return cls(sock.makefile("r"), sock.makefile("w"), sock=sock)
+        client = cls(sock.makefile("r"), sock.makefile("w"), sock=sock,
+                     timeout=timeout, retries=retries, backoff=backoff)
+        client._addr = (host, port)
+        return client
+
+    def _reconnect(self) -> None:
+        """Tear down the transport and rebuild it (TCP redial / respawn).
+        Raises :class:`ServiceError` when this client has no recipe."""
+        if self._addr is not None:
+            import socket
+
+            self._teardown()
+            sock = socket.create_connection(self._addr)
+            self._sock = sock
+            self._reader = sock.makefile("r")
+            self._writer = sock.makefile("w")
+            self._fd = sock.fileno()
+            self._buf = b""
+            return
+        if self._respawn is not None:
+            store_path, workers, capacity = self._respawn
+            self._teardown()
+            fresh = type(self).spawn(store_path, workers, capacity)
+            self._reader, self._writer = fresh._reader, fresh._writer
+            self._proc, self._fd = fresh._proc, fresh._fd
+            self._buf = b""
+            return
+        raise ServiceError(
+            "cannot reconnect: client was built from raw streams", "connection"
+        )
 
     # -- protocol ------------------------------------------------------------
 
-    def request(self, payload: Mapping[str, Any]) -> dict[str, Any]:
-        """Send one request dict, block for its response dict."""
-        self._next_id += 1
-        message = {"id": f"c{self._next_id}", **payload}
+    def _read_line(self, timeout: Optional[float]) -> str:
+        """One response line (without the newline), raw-fd based so a
+        deadline can interrupt the wait.  Empty string means EOF."""
+        if self._fd is None:  # no fileno: plain blocking readline
+            line = self._reader.readline()
+            return line.decode() if isinstance(line, bytes) else line
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while b"\n" not in self._buf:
+            if deadline is None:
+                wait = None
+            else:
+                wait = deadline - time.monotonic()
+                if wait <= 0:
+                    raise ServiceTimeout(
+                        f"no response line within {timeout}s"
+                    )
+            ready, _, _ = select.select([self._fd], [], [], wait)
+            if not ready:
+                continue  # loop re-checks the deadline
+            try:
+                chunk = os.read(self._fd, 1 << 16)
+            except OSError as exc:
+                raise ServiceError(
+                    f"connection lost mid-read ({exc})", "connection"
+                ) from exc
+            if not chunk:
+                # EOF with a partial line buffered = the server died
+                # mid-response; either way the stream is over
+                self._buf = b""
+                return ""
+            self._buf += chunk
+        line, _, self._buf = self._buf.partition(b"\n")
+        return line.decode()
+
+    def _request_once(
+        self, message: Mapping[str, Any], timeout: Optional[float]
+    ) -> dict[str, Any]:
         try:
             self._writer.write(json.dumps(message) + "\n")
             self._writer.flush()
-            line = self._reader.readline()
-        except (BrokenPipeError, ConnectionResetError) as exc:
+        except (BrokenPipeError, ConnectionResetError, OSError) as exc:
             # a torn-down peer may surface as RST instead of a clean EOF,
             # depending on who wins the close/write race — same meaning
-            raise ServiceError(f"connection closed by server ({exc})") from exc
+            raise ServiceError(
+                f"connection closed by server ({exc})", "connection"
+            ) from exc
+        line = self._read_line(timeout)
         if not line:
             detail = ""
             if self._proc is not None and self._proc.poll() is not None:
                 stderr = self._proc.stderr.read() if self._proc.stderr else ""
                 detail = f" (server exited {self._proc.returncode}: {stderr.strip()})"
-            raise ServiceError(f"connection closed by server{detail}")
-        return json.loads(line)
+            raise ServiceError(
+                f"connection closed by server{detail}", "connection"
+            )
+        try:
+            return json.loads(line)
+        except ValueError as exc:
+            # a partial/garbled line: framing is gone, treat as a dead
+            # connection so a retry reconnects instead of misparsing
+            raise ServiceError(
+                f"garbled response line ({exc})", "connection"
+            ) from exc
+
+    def request(
+        self,
+        payload: Mapping[str, Any],
+        *,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+    ) -> dict[str, Any]:
+        """Send one request dict, block for its response dict.
+
+        ``timeout``/``retries`` override the client-wide defaults for this
+        request.  Retries apply only to idempotent ops and only to
+        timeout/connection failures (see class docstring); each retry
+        reconnects, waits ``backoff * 2^attempt`` scaled by full jitter,
+        and re-sends under a fresh request id."""
+        timeout = self.timeout if timeout is None else timeout
+        retries = self.retries if retries is None else retries
+        op = payload.get("op", "solve")
+        attempts = 1 + (retries if op in _IDEMPOTENT_OPS else 0)
+        failure: Optional[ServiceError] = None
+        for attempt in range(attempts):
+            if attempt:
+                delay = self.backoff * (2 ** (attempt - 1))
+                time.sleep(delay * random.random())  # full jitter
+                try:
+                    self._reconnect()
+                except ServiceError as exc:
+                    failure = exc
+                    break  # no reconnect recipe: retrying cannot help
+            self._next_id += 1
+            message = {"id": f"c{self._next_id}", **payload}
+            try:
+                return self._request_once(message, timeout)
+            except ServiceError as exc:
+                if exc.kind not in _RETRYABLE_KINDS:
+                    raise
+                failure = exc
+        assert failure is not None
+        raise failure
 
     def solve(self, problem: Problem) -> tuple[Solution, dict[str, Any]]:
         """Solve ``problem`` remotely; returns ``(solution, meta)`` where
@@ -204,7 +390,7 @@ class ServiceClient:
         """Ask the server to drain, ack, and close this connection."""
         return bool(self.request({"op": "shutdown"}).get("shutdown"))
 
-    def close(self) -> None:
+    def _teardown(self) -> None:
         for resource in (self._writer, self._reader, self._sock):
             if resource is None:
                 continue
@@ -212,12 +398,17 @@ class ServiceClient:
                 resource.close()
             except Exception:  # noqa: BLE001 - already-dead transport is fine
                 pass
+        self._sock = None
         if self._proc is not None:
+            # the handle stays (callers inspect returncode after close)
             try:
                 self._proc.wait(timeout=10)
             except subprocess.TimeoutExpired:
                 self._proc.kill()
                 self._proc.wait()
+
+    def close(self) -> None:
+        self._teardown()
 
     def __enter__(self) -> "ServiceClient":
         return self

@@ -16,7 +16,13 @@ Two tiers:
 **Nothing corrupt is ever served**: every write replay-validates the
 solution through the discrete-event simulator
 (:meth:`~repro.solve.problem.Solution.validate`) before either tier
-accepts it; a solution that fails replay raises and is not stored.
+accepts it; a solution that fails replay raises and is not stored.  The
+read path holds the same line against *external* damage — a SQLite row
+that no longer deserialises or replays (truncated file, bit rot, foreign
+writer) is quarantined and the lookup degrades to a miss; a locked or
+corrupt database file degrades the store to its memory tier.  Neither
+condition ever raises through the serving loop (``corrupt_rows`` /
+``sqlite_errors`` in :meth:`SolutionStore.stats` count them).
 
 All operations are thread-safe (one lock; the SQLite connection is shared
 across threads) and counted: hits per tier, misses, writes, memory
@@ -49,6 +55,12 @@ class StoreStats:
     writes: int = 0
     evictions: int = 0
     rejected: int = 0
+    #: SQLite rows whose payload would not deserialise or replay —
+    #: quarantined on read and counted here, never raised to the caller.
+    corrupt_rows: int = 0
+    #: SQLite-level failures (locked / corrupt database file) the store
+    #: degraded around by serving the memory tier only.
+    sqlite_errors: int = 0
 
     @property
     def hits(self) -> int:
@@ -70,6 +82,8 @@ class StoreStats:
             "writes": self.writes,
             "evictions": self.evictions,
             "rejected": self.rejected,
+            "corrupt_rows": self.corrupt_rows,
+            "sqlite_errors": self.sqlite_errors,
             "hit_rate": round(self.hit_rate(), 4),
         }
 
@@ -116,14 +130,26 @@ class SolutionStore:
                     " solver TEXT NOT NULL,"
                     " payload TEXT NOT NULL)"
                 )
+                self._db.execute(
+                    "CREATE TABLE IF NOT EXISTS quarantine ("
+                    " fingerprint TEXT PRIMARY KEY,"
+                    " reason TEXT NOT NULL,"
+                    " payload TEXT)"
+                )
 
     # -- lookup --------------------------------------------------------------
 
     def get(self, fingerprint: str) -> Optional[Solution]:
         """The cached canonical solution under ``fingerprint``, or ``None``.
 
-        A SQLite hit is deserialised and promoted into the memory tier.
-        Callers must not mutate the returned object (rebinding copies)."""
+        A SQLite hit is deserialised — and, with ``validate_on_write`` on,
+        replay-checked — before being promoted into the memory tier; a row
+        that fails either check is **quarantined** (moved to the quarantine
+        table, counted in ``corrupt_rows``) and the lookup degrades to a
+        miss instead of raising through the serving loop.  SQLite-level
+        failures (locked or corrupt database file) likewise degrade to the
+        memory tier (``sqlite_errors``).  Callers must not mutate the
+        returned object (rebinding copies)."""
         with self._lock:
             sol = self._memory.get(fingerprint)
             if sol is not None:
@@ -131,15 +157,28 @@ class SolutionStore:
                 self.stats.memory_hits += 1
                 return sol
             if self._db is not None:
-                row = self._db.execute(
-                    "SELECT payload FROM solutions WHERE fingerprint = ?",
-                    (fingerprint,),
-                ).fetchone()
+                try:
+                    row = self._db.execute(
+                        "SELECT payload FROM solutions WHERE fingerprint = ?",
+                        (fingerprint,),
+                    ).fetchone()
+                except sqlite3.Error:
+                    self.stats.sqlite_errors += 1
+                    row = None
                 if row is not None:
-                    sol = solution_from_dict(json.loads(row[0]))
-                    self.stats.sqlite_hits += 1
-                    self._admit(fingerprint, sol)
-                    return sol
+                    try:
+                        sol = solution_from_dict(json.loads(row[0]))
+                        if self.validate_on_write:
+                            sol.validate(engine=self.engine)
+                    except Exception as exc:
+                        self.stats.corrupt_rows += 1
+                        self._quarantine_locked(
+                            fingerprint, f"{type(exc).__name__}: {exc}", row[0]
+                        )
+                    else:
+                        self.stats.sqlite_hits += 1
+                        self._admit(fingerprint, sol)
+                        return sol
             self.stats.misses += 1
             return None
 
@@ -149,9 +188,13 @@ class SolutionStore:
                 return True
             if self._db is None:
                 return False
-            row = self._db.execute(
-                "SELECT 1 FROM solutions WHERE fingerprint = ?", (fingerprint,)
-            ).fetchone()
+            try:
+                row = self._db.execute(
+                    "SELECT 1 FROM solutions WHERE fingerprint = ?", (fingerprint,)
+                ).fetchone()
+            except sqlite3.Error:
+                self.stats.sqlite_errors += 1
+                return False
             return row is not None
 
     def __len__(self) -> int:
@@ -159,7 +202,13 @@ class SolutionStore:
         with self._lock:
             if self._db is None:
                 return len(self._memory)
-            (count,) = self._db.execute("SELECT COUNT(*) FROM solutions").fetchone()
+            try:
+                (count,) = self._db.execute(
+                    "SELECT COUNT(*) FROM solutions"
+                ).fetchone()
+            except sqlite3.Error:
+                self.stats.sqlite_errors += 1
+                return len(self._memory)
             return max(count, len(self._memory))
 
     # -- write ---------------------------------------------------------------
@@ -182,12 +231,17 @@ class SolutionStore:
         with self._lock:
             self.stats.writes += 1
             if self._db is not None:
-                with self._db:
-                    self._db.execute(
-                        "INSERT OR REPLACE INTO solutions"
-                        " (fingerprint, solver, payload) VALUES (?, ?, ?)",
-                        (fingerprint, solution.solver, payload),
-                    )
+                try:
+                    with self._db:
+                        self._db.execute(
+                            "INSERT OR REPLACE INTO solutions"
+                            " (fingerprint, solver, payload) VALUES (?, ?, ?)",
+                            (fingerprint, solution.solver, payload),
+                        )
+                except sqlite3.Error:
+                    # locked / corrupt file: degrade to memory-only for
+                    # this write rather than crash the serving loop
+                    self.stats.sqlite_errors += 1
             self._admit(fingerprint, solution)
 
     def _admit(self, fingerprint: str, solution: Solution) -> None:
@@ -198,6 +252,60 @@ class SolutionStore:
         while len(self._memory) > self.capacity:
             self._memory.popitem(last=False)
             self.stats.evictions += 1
+
+    # -- quarantine ----------------------------------------------------------
+
+    def quarantine(self, fingerprint: str, reason: str) -> None:
+        """Evict ``fingerprint`` from both tiers and park its SQLite row in
+        the quarantine table (best effort — quarantining never raises)."""
+        with self._lock:
+            self._quarantine_locked(fingerprint, reason, None)
+
+    def _quarantine_locked(
+        self, fingerprint: str, reason: str, payload: Optional[str]
+    ) -> None:
+        """Caller holds the lock.  ``payload`` is the raw row text when the
+        caller already read it (read-path corruption); otherwise it is
+        fetched so the evidence survives the eviction."""
+        self._memory.pop(fingerprint, None)
+        if self._db is None:
+            return
+        try:
+            if payload is None:
+                row = self._db.execute(
+                    "SELECT payload FROM solutions WHERE fingerprint = ?",
+                    (fingerprint,),
+                ).fetchone()
+                payload = row[0] if row is not None else None
+            with self._db:
+                self._db.execute(
+                    "INSERT OR REPLACE INTO quarantine"
+                    " (fingerprint, reason, payload) VALUES (?, ?, ?)",
+                    (fingerprint, reason, payload),
+                )
+                self._db.execute(
+                    "DELETE FROM solutions WHERE fingerprint = ?", (fingerprint,)
+                )
+        except sqlite3.Error:
+            self.stats.sqlite_errors += 1
+
+    def quarantined(self) -> list[tuple[str, str]]:
+        """``(fingerprint, reason)`` of every quarantined row (empty when
+        memory-only or when SQLite itself is unreadable)."""
+        with self._lock:
+            if self._db is None:
+                return []
+            try:
+                return [
+                    (f, r)
+                    for f, r in self._db.execute(
+                        "SELECT fingerprint, reason FROM quarantine"
+                        " ORDER BY fingerprint"
+                    )
+                ]
+            except sqlite3.Error:
+                self.stats.sqlite_errors += 1
+                return []
 
     # -- lifecycle -----------------------------------------------------------
 

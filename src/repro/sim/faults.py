@@ -51,6 +51,10 @@ class FaultyRunResult:
     #: tasks lost to failures and reissued
     reissues: int
     survivors: list[ProcKey]
+    #: reissued trace id -> *original* task id.  Reissues run under fresh
+    #: ids (n+1, n+2, ...) so per-task attribution survives the trace —
+    #: chase any id through this map to find the task it accounts for.
+    reissue_of: dict[int, int] = field(default_factory=dict)
 
     @property
     def makespan(self) -> Time:
@@ -94,7 +98,9 @@ def simulate_with_failures(
     pending: list[int] = list(range(1, n + 1))
     attempts = {"count": 0}
     reissues = {"count": 0}
-    completed: dict[int, bool] = {}
+    next_id = {"value": n}  # reissues get fresh trace ids n+1, n+2, ...
+    reissue_of: dict[int, int] = {}
+    completed: dict[int, bool] = {}  # keyed by *original* task id
     dispatched: dict[ProcKey, int] = {pr: 0 for pr in all_procs}
     done_per_proc: dict[ProcKey, int] = {pr: 0 for pr in all_procs}
 
@@ -103,7 +109,11 @@ def simulate_with_failures(
 
     def lose(task: int) -> None:
         reissues["count"] += 1
-        pending.append(task)
+        next_id["value"] += 1
+        fresh = next_id["value"]
+        # chains of reissues all point back at the original id
+        reissue_of[fresh] = reissue_of.get(task, task)
+        pending.append(fresh)
         sim.at(sim.now, master_dispatch)
 
     def deliver(task: int, link: Hashable, rest: list, dest: ProcKey) -> None:
@@ -152,7 +162,7 @@ def simulate_with_failures(
                 lose(task)
                 return
             trace.record(Event(s.now, EventKind.EXEC_END, task, proc))
-            completed[task] = True
+            completed[reissue_of.get(task, task)] = True
             done_per_proc[proc] += 1
 
         sim.at(begin, exec_start, priority=3)
@@ -219,6 +229,7 @@ def simulate_with_failures(
         attempts=attempts["count"],
         reissues=reissues["count"],
         survivors=alive(),
+        reissue_of=reissue_of,
     )
 
 

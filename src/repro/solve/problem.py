@@ -9,8 +9,12 @@ tuning in ``options``, warm-start caps for solvers that support them).
 Orthogonal to the *kind* is the *mode*: ``"offline"`` problems are answered
 by the paper's static algorithms (the solver sees the whole future),
 ``"online"`` problems by simulated policies that only observe the past —
-the SETI@home regime the paper's introduction motivates.  Both modes
-dispatch through the same registry; consumers never branch on it.
+the SETI@home regime the paper's introduction motivates — and
+``"repatch"`` problems by the incremental churn-repair layer
+(:mod:`repro.solve.repatch`): solve offline, mutate the platform per
+``options["churn"]``, repair the committed schedule instead of re-solving
+cold.  All modes dispatch through the same registry; consumers never
+branch on it.
 
 A *solution* wraps the schedule with the answer headline (makespan, task
 count), the solver's operation counters, optional warm caps for the next
@@ -37,7 +41,7 @@ from ..core.schedule import Schedule
 from ..core.types import ReproError, Time, leq
 
 KINDS = ("makespan", "deadline")
-MODES = ("offline", "online")
+MODES = ("offline", "online", "repatch")
 
 
 class SolveError(ReproError):

@@ -28,6 +28,7 @@ from ..platforms.chain import Chain
 from ..platforms.spider import Spider
 from ..platforms.star import Star
 from ..platforms.tree import Tree
+from ..sim.churn import simulate_with_churn
 from ..sim.faults import WorkerFailure, simulate_with_failures
 from ..sim.online import ONLINE_POLICIES, simulate_online
 from ..trees.multiround import (
@@ -38,6 +39,7 @@ from ..trees.multiround import (
 )
 from .problem import Problem, Solution, SolveError
 from .registry import Solver, register
+from .repatch import RepatchSolver
 
 
 def _chain_stats_dict(stats: ChainRunStats) -> dict:
@@ -224,6 +226,9 @@ class OnlineSolver(Solver):
     * ``arrivals`` — optional per-task release times;
     * ``failures`` — fail-stop specs (``{"time": t, "processor": p}``);
       the answer is then *trace-only* (reissued ids defeat Definition 1);
+    * ``churn`` — general timed events (leave / join / drift specs, see
+      :func:`repro.sim.churn.parse_churn_events`); trace-only like
+      ``failures``, mutually exclusive with it;
     * ``max_events`` — simulator event budget override.
     """
 
@@ -232,7 +237,7 @@ class OnlineSolver(Solver):
     platform_type = object
     kinds = ("makespan",)
     exact = False  # a policy's makespan is achieved, not optimal
-    option_keys = ("policy", "arrivals", "failures", "max_events")
+    option_keys = ("policy", "arrivals", "failures", "churn", "max_events")
     summary = (
         "online policies via the simulator — "
         f"{', '.join(sorted(ONLINE_POLICIES))}; fault injection via "
@@ -249,6 +254,45 @@ class OnlineSolver(Solver):
             )
         max_events = opts.get("max_events")
         failures = [_parse_failure(f) for f in opts.get("failures", ())]
+        churn_specs = opts.get("churn") or ()
+        if failures and churn_specs:
+            raise SolveError(
+                "online solver takes 'failures' (fail-stop only) or 'churn' "
+                "(the general event model), not both — express fail-stop "
+                "churn as leave events"
+            )
+        if churn_specs:
+            if opts.get("arrivals") is not None:
+                raise SolveError(
+                    "online solver does not combine 'arrivals' with 'churn' "
+                    "(the churn simulator has no release times)"
+                )
+            res = simulate_with_churn(
+                problem.platform, problem.n, churn_specs, policy,
+                max_events=max_events,
+            )
+            policy_name = (
+                policy if isinstance(policy, str)
+                else getattr(policy, "__name__", "custom")
+            )
+            return Solution(
+                problem,
+                None,  # reissued ids under churn: trace-only, like failures
+                self.name,
+                stats={
+                    "attempts": res.attempts,
+                    "reissues": res.reissues,
+                    "completed": res.completed,
+                    "events": len(res.trace.events),
+                },
+                extra={
+                    "policy": policy_name,
+                    "churn": list(res.events),
+                    "survivors": list(res.survivors),
+                    "reissue_of": dict(res.reissue_of),
+                },
+                trace=res.trace,
+            )
         if failures:
             if opts.get("arrivals") is not None:
                 raise SolveError(
@@ -279,6 +323,7 @@ class OnlineSolver(Solver):
                     "policy": policy_name,
                     "failures": len(failures),
                     "survivors": list(res.survivors),
+                    "reissue_of": dict(res.reissue_of),
                 },
                 trace=res.trace,
             )
@@ -303,4 +348,5 @@ BUILTIN_SOLVERS = (
     register(SpiderSolver()),
     register(TreeSolver()),
     register(OnlineSolver()),
+    register(RepatchSolver()),
 )

@@ -108,3 +108,90 @@ class TestValidationOnWrite:
     def test_capacity_must_be_positive(self):
         with pytest.raises(ValueError):
             SolutionStore(capacity=0)
+
+
+class TestDamageDegradation:
+    """External SQLite damage degrades to a miss / the memory tier —
+    never an exception through the serving loop."""
+
+    def seeded(self, path):
+        fp, sol = solved()
+        with SolutionStore(path=path) as store:
+            store.put(fp, sol)
+        return fp
+
+    def test_truncated_row_is_quarantined(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "s.sqlite"
+        fp = self.seeded(path)
+        with sqlite3.connect(path) as db:  # a foreign writer bit-rots the row
+            db.execute(
+                "UPDATE solutions SET payload = substr(payload, 1, 25)"
+            )
+        with SolutionStore(path=path) as store:
+            assert store.get(fp) is None  # degrades to a miss, no raise
+            assert store.stats.corrupt_rows == 1
+            assert store.stats.misses == 1
+            (entry,) = store.quarantined()
+            assert entry[0] == fp and "JSONDecodeError" in entry[1]
+            # the bad row is gone: the next read is a plain miss
+            assert store.get(fp) is None
+            assert store.stats.corrupt_rows == 1
+
+    def test_row_that_parses_but_fails_replay_is_quarantined(self, tmp_path):
+        import json as _json
+        import sqlite3
+
+        path = tmp_path / "s.sqlite"
+        fp = self.seeded(path)
+        with sqlite3.connect(path) as db:
+            (payload,) = db.execute(
+                "SELECT payload FROM solutions"
+            ).fetchone()
+            doc = _json.loads(payload)
+            doc["schedule"]["assignments"][0]["start"] = 0  # CPU overlap
+            db.execute("UPDATE solutions SET payload = ?",
+                       (_json.dumps(doc),))
+        with SolutionStore(path=path) as store:
+            assert store.get(fp) is None
+            assert store.stats.corrupt_rows == 1
+            (entry,) = store.quarantined()
+            assert "ValidationError" in entry[1]
+
+    def test_quarantine_keeps_the_evidence(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "s.sqlite"
+        fp = self.seeded(path)
+        with SolutionStore(path=path) as store:
+            store.quarantine(fp, "operator request")
+            assert store.get(fp) is None
+        with sqlite3.connect(path) as db:
+            (payload,) = db.execute(
+                "SELECT payload FROM quarantine WHERE fingerprint = ?",
+                (fp,),
+            ).fetchone()
+            assert payload  # the original row text survived the eviction
+
+    def test_dead_connection_degrades_to_memory_tier(self, tmp_path):
+        store = SolutionStore(path=tmp_path / "s.sqlite")
+        fp, sol = solved()
+        store.put(fp, sol)
+        store._db.close()  # simulate a yanked / corrupt database file
+        # memory tier still serves
+        assert store.get(fp) is sol
+        # sqlite paths degrade instead of raising
+        other_fp, other = solved(7)
+        assert store.get(other_fp) is None
+        store.put(other_fp, other)
+        assert store.get(other_fp) is other
+        assert other_fp in store
+        assert len(store) == 2  # falls back to the memory count
+        assert store.quarantined() == []
+        assert store.stats.sqlite_errors >= 3
+        store._db = None  # close() must not re-close
+
+    def test_stats_expose_damage_counters(self):
+        d = SolutionStore().stats.to_dict()
+        assert d["corrupt_rows"] == 0 and d["sqlite_errors"] == 0

@@ -42,7 +42,7 @@ class TestProblemRecord:
 class TestRegistry:
     def test_all_builtin_platforms_claimed(self):
         assert {s.name for s in registered_solvers()} == {
-            "chain", "star", "spider", "tree", "online",
+            "chain", "star", "spider", "tree", "online", "repatch",
         }
         assert {s.name for s in registered_solvers("offline")} == {
             "chain", "star", "spider", "tree",
@@ -63,7 +63,7 @@ class TestRegistry:
         flags = {s.name: s.supports_warm_caps for s in registered_solvers()}
         assert flags == {
             "chain": False, "star": False, "spider": True, "tree": False,
-            "online": False,
+            "online": False, "repatch": False,
         }
 
     def test_double_registration_rejected(self):
