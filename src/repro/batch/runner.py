@@ -99,6 +99,7 @@ def run_group(
     validate: bool = False,
     cache=None,
     engine: Optional[str] = None,
+    solve_engine: Optional[str] = None,
 ) -> list[_IndexedResult]:
     """Solve one platform group (module-level so process pools can pickle).
 
@@ -126,7 +127,7 @@ def run_group(
 
     def solver_of(mode: str) -> Solver:
         if mode not in solvers:
-            solvers[mode] = solver_for(platform, mode)
+            solvers[mode] = solver_for(platform, mode, solve_engine)
         return solvers[mode]
 
     try:
@@ -175,7 +176,9 @@ def run_group(
                 if store is not None and problem.mode in ("offline", "repatch"):
                     from ..service.engine import cached_solve
 
-                    outcome = cached_solve(problem, store)
+                    outcome = cached_solve(
+                        problem, store, solve_engine=solve_engine
+                    )
                     solution, cached = outcome.solution, outcome.cached
                 else:
                     solution = solver.solve(problem)
@@ -223,6 +226,47 @@ def run_group(
     return out
 
 
+def _seed_worker(payload: tuple) -> None:
+    """Process-pool initializer: install the parent's caches in the worker.
+
+    Without this every worker recompiles every platform core (and rebuilds
+    every chain sequence) from scratch — the parent precompiles one core
+    per scenario group and ships its fingerprint LRU across the fork
+    boundary instead."""
+    replay_cores, solve_entries = payload
+    from ..core.compiled import seed_cores
+    from ..core.solve_fast import seed_solve_cores
+
+    seed_cores(replay_cores)
+    seed_solve_cores(solve_entries)
+
+
+def _export_caches(
+    group_list: list[list[_IndexedScenario]],
+) -> tuple:
+    """Precompile one replay core per scenario group in the parent and
+    snapshot both caches (replay cores + solve-kernel chain sequences) for
+    :func:`_seed_worker`."""
+    from ..core.compiled import compile_platform, export_cores
+    from ..core.solve_fast import export_solve_cores
+
+    seen: set[str] = set()
+    for group in group_list:
+        if not group:
+            continue
+        key = group[0][1].platform_key
+        if key in seen:
+            continue
+        seen.add(key)
+        try:
+            compile_platform(platform_from_dict(group[0][1].platform))
+        except Exception:  # noqa: BLE001 - a platform that cannot
+            # parse/compile fails inside run_group with a proper
+            # per-scenario error row; never here
+            continue
+    return export_cores(), export_solve_cores()
+
+
 def _split_for_workers(
     group_list: list[list[_IndexedScenario]], workers: int
 ) -> list[list[_IndexedScenario]]:
@@ -268,6 +312,9 @@ class BatchRunner:
     #: replay kernel for ``validate`` (and the cache's validate-on-write):
     #: None → compiled linear scan; "event" → discrete-event executor.
     engine: Optional[str] = None
+    #: solver kernel: None → compiled solve kernels ("compiled");
+    #: "object" forces the original per-object implementations.
+    solve_engine: Optional[str] = None
 
     def run(self, scenarios: Iterable[Scenario]) -> list[ScenarioResult]:
         indexed = list(enumerate(scenarios))
@@ -277,7 +324,8 @@ class BatchRunner:
         group_list = list(groups.values())
 
         solve_group = partial(run_group, validate=self.validate,
-                              cache=self.cache, engine=self.engine)
+                              cache=self.cache, engine=self.engine,
+                              solve_engine=self.solve_engine)
         mode = self.mode
         if mode not in ("auto", "serial", "thread", "process"):
             raise BatchError(f"unknown batch mode {self.mode!r}")
@@ -294,12 +342,17 @@ class BatchRunner:
             group_list = _split_for_workers(group_list, self.workers)
         if mode == "serial" or self.workers <= 1 or len(group_list) <= 1:
             batches = [solve_group(g) for g in group_list]
+        elif mode == "process":
+            # workers inherit the parent's compile caches (precompiled per
+            # scenario group) instead of each recompiling from scratch
+            payload = _export_caches(group_list)
+            with ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_seed_worker, initargs=(payload,),
+            ) as pool:
+                batches = list(pool.map(solve_group, group_list))
         else:
-            executor_cls = {
-                "process": ProcessPoolExecutor,
-                "thread": ThreadPoolExecutor,
-            }[mode]
-            with executor_cls(max_workers=self.workers) as pool:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
                 batches = list(pool.map(solve_group, group_list))
 
         results: list[Optional[ScenarioResult]] = [None] * len(indexed)
@@ -318,9 +371,11 @@ def run_batch(
     validate: bool = False,
     cache: object = None,
     engine: Optional[str] = None,
+    solve_engine: Optional[str] = None,
 ) -> list[ScenarioResult]:
-    """Convenience wrapper: ``BatchRunner(workers, mode, validate, cache, engine).run(...)``."""
+    """Convenience wrapper: ``BatchRunner(workers, mode, validate, cache,
+    engine, solve_engine).run(...)``."""
     return BatchRunner(
         workers=workers, mode=mode, validate=validate, cache=cache,
-        engine=engine,
+        engine=engine, solve_engine=solve_engine,
     ).run(scenarios)

@@ -392,9 +392,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="replay kernel for --validate and cache writes: "
                    "'compiled' = flat-array linear scan (default), "
                    "'event' = discrete-event executor (the oracle)")
+    p.add_argument("--solve-engine", choices=["compiled", "object"],
+                   default=None,
+                   help="solve kernel: 'compiled' = flat-array chain/star/"
+                   "spider kernels (default), 'object' = the original "
+                   "object-graph solvers (the differential oracle)")
     p.add_argument("--cache", metavar="PATH",
                    help="solution-store SQLite file: repeated (isomorphic) "
                    "platforms are served from cache instead of re-solved")
+    p.add_argument("--profile", metavar="PATH",
+                   help="cProfile the batch run: binary pstats dump to PATH "
+                   "plus a top-25 cumulative summary on stderr")
     p.add_argument("--out", metavar="PATH", help="write results JSON")
 
     p = sub.add_parser(
@@ -425,6 +433,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", choices=["compiled", "event"], default=None,
                    help="replay kernel for validate-on-write and rebind "
                    "checks ('event' routes them through the oracle executor)")
+    p.add_argument("--solve-engine", choices=["compiled", "object"],
+                   default=None,
+                   help="solve kernel for cache misses: 'compiled' = "
+                   "flat-array kernels (default), 'object' = original solvers")
 
     p = sub.add_parser("report", help="regenerate the headline results as markdown")
     p.add_argument("--seed", type=int, default=0)
@@ -639,11 +651,30 @@ def _run(args) -> int:
                 f"{EXECUTOR_MODES[args.executor]})"
             )
         mode = EXECUTOR_MODES[args.executor] if args.executor else args.mode
-        results = run_batch(scenarios, workers=args.workers, mode=mode,
-                            validate=args.validate, cache=args.cache,
-                            engine=args.engine)
+
+        def _run_batch():
+            return run_batch(scenarios, workers=args.workers, mode=mode,
+                             validate=args.validate, cache=args.cache,
+                             engine=args.engine,
+                             solve_engine=args.solve_engine)
+
+        if args.profile:
+            import cProfile
+            import io
+            import pstats
+
+            prof = cProfile.Profile()
+            results = prof.runcall(_run_batch)
+            prof.dump_stats(args.profile)
+            buf = io.StringIO()
+            stats = pstats.Stats(prof, stream=buf)
+            stats.sort_stats("cumulative").print_stats(25)
+            print(buf.getvalue(), file=sys.stderr)
+            print(f"wrote profile {args.profile}", file=sys.stderr)
+        else:
+            results = _run_batch()
         headers = ["scenario", "kind", "status", "makespan", "tasks", "rounds",
-                   "policy", "seconds"]
+                   "policy", "engine", "seconds"]
         if args.validate:
             headers.append("validated_by")
         rows = [
@@ -655,6 +686,7 @@ def _run(args) -> int:
                 "" if r.n_tasks is None else r.n_tasks,
                 "" if r.rounds is None else r.rounds,
                 "" if r.policy is None else r.policy,
+                r.stats.get("engine", ""),
                 f"{r.wall_s:.4f}",
             )
             + ((r.validated_by or "",) if args.validate else ())
@@ -667,6 +699,15 @@ def _run(args) -> int:
         print(f"{len(results) - len(failed)}/{len(results)} scenarios ok"
               + (f"   ({checked} replay-validated)" if args.validate else "")
               + (f"   ({hits} cache hits)" if args.cache else ""))
+        from .core.solve_fast import solve_kernel_stats
+
+        ks = solve_kernel_stats()
+        print("solve kernels: "
+              f"{ks['kernel_solves']} kernel solves, "
+              f"{ks['fallbacks']} fallbacks, "
+              f"seq cache {ks['seq_hits']}/{ks['seq_hits'] + ks['seq_misses']} "
+              f"hits, core cache {ks['core_hits']}/"
+              f"{ks['core_hits'] + ks['core_misses']} hits")
         if args.out:
             print(f"wrote {save_results(results, args.out)}")
         return EXIT_OK if not failed else EXIT_FAILURE
@@ -681,6 +722,7 @@ def _run(args) -> int:
         service = ScheduleService(store=store, workers=args.workers,
                                   verify_rebinds=not args.no_verify_rebinds,
                                   engine=args.engine,
+                                  solve_engine=args.solve_engine,
                                   request_timeout=args.request_timeout)
         try:
             if args.tcp:

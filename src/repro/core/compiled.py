@@ -156,6 +156,31 @@ def clear_compile_cache() -> None:
             _STATS[key] = 0
 
 
+def export_cores() -> list["_Core"]:
+    """Snapshot the cached cores, LRU order — plain tuples, picklable.
+
+    The batch runner ships this across the fork boundary so process-pool
+    workers start with the parent's fingerprint LRU instead of recompiling
+    every platform core from scratch."""
+    with _LOCK:
+        return list(_CORE_CACHE.values())
+
+
+def seed_cores(cores: list["_Core"]) -> int:
+    """Install exported cores into this process's cache; returns how many
+    were new.  Existing entries just refresh their LRU position."""
+    added = 0
+    with _LOCK:
+        for core in cores:
+            if core.fingerprint not in _CORE_CACHE:
+                added += 1
+            _CORE_CACHE[core.fingerprint] = core
+            _CORE_CACHE.move_to_end(core.fingerprint)
+        while len(_CORE_CACHE) > CORE_CACHE_CAPACITY:
+            _CORE_CACHE.popitem(last=False)
+    return added
+
+
 def _build_core(adapter: PlatformAdapter, fingerprint: str) -> _Core:
     """Flatten ``adapter`` (positions are *its* processor order)."""
     procs = adapter.processors()

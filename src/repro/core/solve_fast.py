@@ -1,0 +1,1121 @@
+"""Array-first solve kernels — the compiled engine of the solve path.
+
+PR 5 compiled the *replay* path onto flat arrays (:mod:`repro.core.compiled`
++ :mod:`repro.sim.replay_fast`); this module does the same for the *solver*
+hot loops.  Three numeric cores replace the per-object Python traversals:
+
+**Universal chain sequences.**  The backward chain construction is
+*translation covariant*: every quantity in :class:`~repro.core.chain_fast._FastState`
+is built from ``min``/``+`` over the horizon-initialised hull/occupancy
+vectors, so running the construction at horizon ``t`` equals running it at
+horizon ``0`` and adding ``t`` to every time.  One placement sequence per
+chain (cached by the chain's value tuple, shared across spider legs,
+batches and relabeled isomorphs) therefore answers *every* makespan and
+deadline query on that chain:
+
+* placement ``i`` stores its processor, start offset and communication
+  offsets (``offset = −(horizon-0 time)``; actual time = ``t − offset``);
+* the deadline stop rule ``vector[0] < 0`` becomes ``first_offset > t``,
+  so the task count within ``t`` is a binary search on the running maximum
+  of first-emission offsets — no construction runs at solve time;
+* the makespan schedule of ``n`` tasks is ``times = off[n−1] − off`` (the
+  horizon cancels against the final shift-to-zero).
+
+**A vectorised port allocator.**  The fork/spider EDF greedy
+(:func:`repro.core.fork.allocate_incremental`) is replayed in *runs*.  Two
+exact reductions make every step an O(k) array sweep: a rejection leaves
+the greedy state untouched, so one vectorised single-candidate pass skips
+whole rejection runs and bounds the next acceptance run; and a run is
+accepted wholesale iff the *merged* state stays EDF-feasible at every
+occupied slot (one cumsum — acceptance of each member at its own turn is
+equivalent to non-negative final slack, see :func:`_block_ok`).  On a
+mixed run, a binary search over prefixes finds the first rejection.  Tests
+per probe scale with the number of accept/reject alternations, not with
+the candidate count — no Python tree walks, no per-candidate objects.
+
+**t-independent candidate universes.**  A star child's virtual copies
+``(c, w + q·m)`` and a spider leg's fork nodes ``(c₁, off_i − c₁)`` do not
+depend on the probe deadline — only *how many* of them are present does
+(a per-group prefix).  The scan order ``(c, W, group, generation)`` and the
+EDF slot order ``(−W, c, scan)`` are therefore precomputed once per
+platform core and shared by every bisection probe; a probe compresses the
+prefix masks, runs the block allocator, and — except for the final
+construction — never builds a single Python object.
+
+Bit-identity contract: for integer platforms and the ``"incremental"`` /
+``"greedy"`` allocators (identical selections under exact arithmetic, see
+``allocate_incremental``), every schedule produced here is equal, element
+for element, to the object pipeline's — same assignments, same task
+numbering, same tie-breaks.  The final physical reconstruction reuses the
+object code's logic verbatim on the (small) accepted set.  Anything
+outside the contract — floats, Fractions, the ``"moore"`` allocator —
+raises :class:`SolveKernelUnsupported`, and the compiled solvers fall back
+to the object implementations.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from collections import OrderedDict
+from typing import Optional
+
+try:  # numpy is the array substrate; without it the kernels stand down
+    import numpy as np
+
+    _HAVE_NUMPY = True
+except Exception:  # pragma: no cover - the toolchain bakes numpy in
+    np = None  # type: ignore[assignment]
+    _HAVE_NUMPY = False
+
+from ..platforms.chain import Chain
+from ..platforms.spider import Spider
+from ..platforms.star import Star
+from .chain import _task_upper_bound
+from .chain_fast import _FastState
+from .commvector import CommVector
+from .schedule import Schedule, TaskAssignment
+from .types import PlatformError, Time
+
+__all__ = [
+    "SolveKernelUnsupported",
+    "clear_solve_kernels",
+    "fast_chain_deadline",
+    "fast_chain_schedule",
+    "fast_spider_deadline",
+    "fast_spider_schedule",
+    "fast_star_deadline",
+    "fast_star_schedule",
+    "solve_kernel_stats",
+]
+
+
+class SolveKernelUnsupported(Exception):
+    """The compiled kernels do not cover this problem; use the object path."""
+
+
+# ---------------------------------------------------------------------------
+# Cache + counters (mirrors the conventions of repro.core.compiled)
+# ---------------------------------------------------------------------------
+
+#: value-keyed caches: chain sequences and star/spider solve cores.
+SEQ_CACHE_CAPACITY = 256
+CORE_CACHE_CAPACITY = 512
+
+_LOCK = threading.RLock()
+_SEQ_CACHE: "OrderedDict[tuple, _ChainSeq]" = OrderedDict()
+_STAR_CACHE: "OrderedDict[tuple, _StarCore]" = OrderedDict()
+_SPIDER_CACHE: "OrderedDict[tuple, _SpiderCore]" = OrderedDict()
+
+_STATS = {
+    "seq_hits": 0,
+    "seq_misses": 0,
+    "core_hits": 0,
+    "core_misses": 0,
+    "kernel_solves": 0,
+    "kernel_probes": 0,
+    "fallbacks": 0,
+}
+
+
+def solve_kernel_stats() -> dict:
+    """Counters of the solve-kernel caches (hits/misses/solves/fallbacks)."""
+    with _LOCK:
+        stats = dict(_STATS)
+        stats["seq_entries"] = len(_SEQ_CACHE)
+        stats["core_entries"] = len(_STAR_CACHE) + len(_SPIDER_CACHE)
+        return stats
+
+
+def clear_solve_kernels() -> None:
+    """Drop every cached sequence/core and reset the counters (tests)."""
+    with _LOCK:
+        _SEQ_CACHE.clear()
+        _STAR_CACHE.clear()
+        _SPIDER_CACHE.clear()
+        for key in _STATS:
+            _STATS[key] = 0
+
+
+def record_fallback() -> None:
+    """Count one compiled→object delegation (called by the solver layer)."""
+    with _LOCK:
+        _STATS["fallbacks"] += 1
+
+
+def _is_int(value: object) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _require(condition: bool, why: str) -> None:
+    if not condition:
+        raise SolveKernelUnsupported(why)
+
+
+def _require_numpy() -> None:
+    _require(_HAVE_NUMPY, "numpy unavailable")
+
+
+def _chain_key(chain: Chain) -> tuple:
+    return (tuple(chain.c), tuple(chain.w))
+
+
+def _cache_get(cache: OrderedDict, key: tuple):
+    with _LOCK:
+        entry = cache.get(key)
+        if entry is not None:
+            cache.move_to_end(key)
+        return entry
+
+
+def _cache_put(cache: OrderedDict, key: tuple, entry, capacity: int):
+    with _LOCK:
+        cache[key] = entry
+        cache.move_to_end(key)
+        while len(cache) > capacity:
+            cache.popitem(last=False)
+    return entry
+
+
+# ---------------------------------------------------------------------------
+# Universal chain sequences
+# ---------------------------------------------------------------------------
+
+
+class _ChainSeq:
+    """The horizon-0 placement sequence of one chain, extended on demand.
+
+    By translation covariance, the backward construction at horizon ``t``
+    is this sequence with ``t`` added to every time.  Placement ``i``
+    (0-based; the *last* task in time is placement 0) stores offsets such
+    that at horizon ``t``: start = ``t − soff[i]``, emission on link ``j``
+    = ``t − voff[base[i]+j−1]``, first emission = ``t − off[i]``.
+
+    ``max_off[i] = max(off[0..i])`` makes the deadline stop rule a binary
+    search: the construction at horizon ``t`` stops right before the first
+    placement with ``off > t``.
+    """
+
+    __slots__ = (
+        "chain", "state", "procs", "soff", "voff", "vbase", "off",
+        "max_off", "elements", "lock",
+    )
+
+    def __init__(self, chain: Chain):
+        self.chain = chain
+        self.lock = threading.RLock()
+        self.state = _FastState(chain, 0)
+        self.procs: list[int] = []
+        self.soff: list[Time] = []
+        self.voff: list[Time] = []   # CSR-flattened comm offsets
+        self.vbase: list[int] = [0]  # CSR index: placement i -> voff slice
+        self.off: list[Time] = []    # first-emission offsets
+        self.max_off: list[Time] = []
+        self.elements = 0            # vector elements materialised (stats)
+
+    def __len__(self) -> int:
+        return len(self.procs)
+
+    def _extend_one(self) -> None:
+        vector = self.state.choose(None)
+        proc, start = self.state.commit(vector)
+        self.procs.append(proc)
+        self.soff.append(-start)
+        self.voff.extend(-v for v in vector)
+        self.vbase.append(len(self.voff))
+        first = -vector[0]
+        self.off.append(first)
+        prev = self.max_off[-1] if self.max_off else first
+        self.max_off.append(first if first > prev else prev)
+        self.elements += len(vector)
+
+    def ensure_len(self, n: int) -> None:
+        if len(self.procs) >= n:
+            return
+        with self.lock:
+            while len(self.procs) < n:
+                self._extend_one()
+
+    def count_within(self, t_lim: Time, limit: int) -> int:
+        """Tasks placed by the deadline construction at horizon ``t_lim``
+        capped at ``limit`` — without running the construction."""
+        # extend until either the limit is generated or an offset exceeds t
+        # (the structures are append-only: reads of settled prefixes are
+        # safe, only the extension itself needs the lock)
+        if len(self.procs) < limit and (
+            not self.max_off or self.max_off[-1] <= t_lim
+        ):
+            with self.lock:
+                while len(self.procs) < limit and (
+                    not self.max_off or self.max_off[-1] <= t_lim
+                ):
+                    self._extend_one()
+        # first violating placement (prefix-max is monotone; the first
+        # offset > t equals the first prefix-max > t)
+        violation = bisect_right(self.max_off, t_lim)
+        return min(limit, violation)
+
+    # -- materialisation ---------------------------------------------------
+
+    def assignment(self, i: int, task: int, horizon: Time) -> TaskAssignment:
+        lo, hi = self.vbase[i], self.vbase[i + 1]
+        times = [horizon - v for v in self.voff[lo:hi]]
+        return TaskAssignment(
+            task, self.procs[i], horizon - self.soff[i], CommVector(times)
+        )
+
+    def deadline_schedule(
+        self, t_lim: Time, limit: int
+    ) -> tuple[Schedule, int]:
+        total = self.count_within(t_lim, limit)
+        placements = {
+            total - i: self.assignment(i, total - i, t_lim)
+            for i in range(total)
+        }
+        return Schedule(self.chain, placements), total
+
+    def makespan_schedule(self, n: int) -> Schedule:
+        # horizon cancels: the object path shifts the first emission
+        # (placement n−1) to zero, so materialise at horizon off[n−1]
+        self.ensure_len(n)
+        horizon = self.off[n - 1]
+        placements = {
+            n - i: self.assignment(i, n - i, horizon) for i in range(n)
+        }
+        return Schedule(self.chain, placements)
+
+
+def _chain_seq(chain: Chain) -> _ChainSeq:
+    key = _chain_key(chain)
+    seq = _cache_get(_SEQ_CACHE, key)
+    with _LOCK:
+        if seq is None:
+            _STATS["seq_misses"] += 1
+        else:
+            _STATS["seq_hits"] += 1
+    if seq is None:
+        seq = _cache_put(_SEQ_CACHE, key, _ChainSeq(chain), SEQ_CACHE_CAPACITY)
+    return seq
+
+
+def _require_int_chain(chain: Chain, t_lim: Optional[Time]) -> None:
+    _require_numpy()
+    _require(
+        all(_is_int(v) for v in (*chain.c, *chain.w)),
+        "chain kernel needs an integer platform",
+    )
+    _require(t_lim is None or _is_int(t_lim), "chain kernel needs integer t_lim")
+
+
+def _chain_stats(seq: _ChainSeq, placed: int) -> dict:
+    return {
+        "tasks_placed": placed,
+        "candidates_evaluated": placed * seq.chain.p,
+        "vector_elements": seq.elements,
+        "comparisons": 0,
+    }
+
+
+def fast_chain_schedule(chain: Chain, n: int) -> tuple[Schedule, dict]:
+    """Compiled twin of :func:`repro.core.chain_fast.schedule_chain_fast`."""
+    _require_int_chain(chain, None)
+    if n < 1:
+        raise PlatformError(f"need n >= 1 tasks, got {n}")
+    seq = _chain_seq(chain)
+    with _LOCK:
+        _STATS["kernel_solves"] += 1
+    return seq.makespan_schedule(n), _chain_stats(seq, n)
+
+
+def fast_chain_deadline(
+    chain: Chain, t_lim: Time, n: Optional[int] = None
+) -> tuple[Schedule, dict]:
+    """Compiled twin of ``schedule_chain_deadline_fast`` (unshifted times)."""
+    _require_int_chain(chain, t_lim)
+    seq = _chain_seq(chain)
+    limit = n if n is not None else _task_upper_bound(chain, t_lim)
+    sched, placed = seq.deadline_schedule(t_lim, limit)
+    with _LOCK:
+        _STATS["kernel_solves"] += 1
+    return sched, _chain_stats(seq, placed)
+
+
+# ---------------------------------------------------------------------------
+# The vectorised shared-port greedy
+# ---------------------------------------------------------------------------
+
+_INF = (1 << 62)
+
+
+def _acc1(c_scan, d_scan, slot_scan, active, d_slot, load_incl):
+    """Exact single-candidate accept mask at the current state.
+
+    Because a rejection leaves the greedy state untouched, this mask is
+    exact along any run of rejections; and a candidate rejected *alone*
+    is also rejected inside any block (blocks only add load), so runs of
+    ``False`` skip wholesale and runs of ``True`` bound the next block.
+    """
+    k = load_incl.shape[0]
+    slack = np.where(active, d_slot - load_incl, _INF)
+    sm = np.empty(k + 1, dtype=np.int64)
+    sm[k] = _INF
+    sm[:k] = np.minimum.accumulate(slack[::-1])[::-1]
+    ok = d_scan >= c_scan
+    ok &= load_incl[slot_scan] + c_scan <= d_scan
+    ok &= c_scan <= sm[slot_scan + 1]
+    return ok
+
+
+def _block_ok(active, cur_c, d_slot, m_c, m_d, m_s) -> bool:
+    """Exact test: would the sequential greedy accept *every* member of the
+    block ``(m_c, m_d, m_s)`` given the current accepted state?
+
+    All-acceptance is equivalent to the *merged* state being EDF-feasible
+    (non-negative slack) at every occupied slot:
+
+    * feasible ⇒ accepted: when member ``u`` is tested, loads can only
+      grow afterwards, so its own conditions are implied by final-state
+      slack at ``s_u``; and any occupant ``j > s_u`` still lacks ``c_u``
+      of its final load, so its at-test slack is ≥ final slack + ``c_u``
+      ≥ ``c_u`` — exactly the greedy's suffix-slack demand.
+    * accepted ⇒ feasible: the greedy keeps non-negative slack as an
+      invariant — its own-load test seeds the new slot's slack, and the
+      suffix-slack test preserves every later occupant's.
+    """
+    cur2 = cur_c.copy()
+    cur2[m_s] = m_c
+    li2 = np.cumsum(cur2)
+    if bool((li2[m_s] > m_d).any()):
+        return False
+    return not bool((active & (li2 > d_slot)).any())
+
+
+def _run_greedy(c_scan, d_scan, slot_scan) -> tuple["np.ndarray", int]:
+    """Replay the greedy over scan-ordered candidates; returns the accepted
+    mask (scan order) and an element-op count for the stats surface."""
+    k = int(c_scan.shape[0])
+    accepted = np.zeros(k, dtype=bool)
+    active = np.zeros(k, dtype=bool)          # by slot
+    cur_c = np.zeros(k, dtype=np.int64)       # by slot
+    d_slot = np.empty(k, dtype=np.int64)
+    d_slot[slot_scan] = d_scan
+    ops = 0
+    r = 0
+    while r < k:
+        load_incl = np.cumsum(cur_c)
+        acc1 = _acc1(c_scan, d_scan, slot_scan, active, d_slot, load_incl)
+        ops += k
+        rem = acc1[r:]
+        if not bool(rem.any()):
+            break  # every remaining candidate is rejected outright
+        r += int(rem.argmax())  # skip the rejection run wholesale
+        run = acc1[r:]
+        m = run.shape[0] if bool(run.all()) else int((~run).argmax())
+        if m == 1:
+            s = int(slot_scan[r])
+            accepted[r] = True
+            active[s] = True
+            cur_c[s] = c_scan[r]
+            r += 1
+            continue
+        window = slice(r, r + m)
+        ok = _block_ok(
+            active, cur_c, d_slot,
+            c_scan[window], d_scan[window], slot_scan[window],
+        )
+        ops += k + m
+        if ok:
+            take = m
+        else:
+            # first failing prefix via binary search on exact tests
+            lo, hi = 0, m  # P(lo) holds, P(hi) fails
+            while hi - lo > 1:
+                mid = (lo + hi) // 2
+                sub = slice(r, r + mid)
+                if _block_ok(
+                    active, cur_c, d_slot,
+                    c_scan[sub], d_scan[sub], slot_scan[sub],
+                ):
+                    lo = mid
+                else:
+                    hi = mid
+                ops += k + mid
+            take = hi - 1  # members r..r+take-1 accepted, r+take rejected
+        if take:
+            got = slice(r, r + take)
+            slots = slot_scan[got]
+            accepted[got] = True
+            active[slots] = True
+            cur_c[slots] = c_scan[got]
+        r += take + (0 if ok else 1)
+    return accepted, ops
+
+
+# ---------------------------------------------------------------------------
+# Star core
+# ---------------------------------------------------------------------------
+
+_ALLOWED_ALLOCATORS = ("incremental", "greedy")
+
+
+def _require_allocator(allocator: str) -> None:
+    # "incremental" and "greedy" select identically on exact arithmetic
+    # (allocate_incremental's documented contract); "moore" may not.
+    _require(
+        allocator in _ALLOWED_ALLOCATORS,
+        f"allocator {allocator!r} has no compiled kernel",
+    )
+
+
+class _StarCore:
+    """t-independent candidate universe of one star, grown on demand."""
+
+    __slots__ = (
+        "star", "child_c", "child_w", "child_m", "built", "lock",
+        "cand_child", "cand_q", "cand_c", "cand_w", "scan", "slot_rank",
+    )
+
+    def __init__(self, star: Star):
+        self.star = star
+        self.lock = threading.RLock()
+        self.child_c = [ch.c for ch in star.children]
+        self.child_w = [ch.w for ch in star.children]
+        self.child_m = [ch.m for ch in star.children]
+        self.built = [0] * star.arity
+        self.cand_child = np.empty(0, dtype=np.int64)
+        self.cand_q = np.empty(0, dtype=np.int64)
+        self.cand_c = np.empty(0, dtype=np.int64)
+        self.cand_w = np.empty(0, dtype=np.int64)
+        self.scan = np.empty(0, dtype=np.int64)
+        self.slot_rank = np.empty(0, dtype=np.int64)
+
+    def counts_at(self, t_lim: Time, cap: Optional[int]) -> list[int]:
+        """Per-child virtual-copy counts: exactly ``expand_star``'s loop."""
+        counts = []
+        for c, w, mm in zip(self.child_c, self.child_w, self.child_m):
+            if c + w > t_lim:
+                counts.append(0)
+                continue
+            natural = (t_lim - c - w) // mm + 1
+            counts.append(int(natural if cap is None else min(cap, natural)))
+        return counts
+
+    def ensure(self, counts: list[int]) -> None:
+        if all(b >= c for b, c in zip(self.built, counts)):
+            return
+        target = [max(b, c) for b, c in zip(self.built, counts)]
+        child_parts, q_parts = [], []
+        for idx, n_q in enumerate(target):
+            child_parts.append(np.full(n_q, idx + 1, dtype=np.int64))
+            q_parts.append(np.arange(n_q, dtype=np.int64))
+        self.cand_child = np.concatenate(child_parts) if child_parts else (
+            np.empty(0, dtype=np.int64)
+        )
+        self.cand_q = np.concatenate(q_parts) if q_parts else (
+            np.empty(0, dtype=np.int64)
+        )
+        c_arr = np.asarray(self.child_c, dtype=np.int64)
+        w_arr = np.asarray(self.child_w, dtype=np.int64)
+        m_arr = np.asarray(self.child_m, dtype=np.int64)
+        ci = self.cand_child - 1
+        self.cand_c = c_arr[ci]
+        self.cand_w = w_arr[ci] + self.cand_q * m_arr[ci]
+        # scan: ascending (c, W), generation (child, q) breaking ties —
+        # exactly the object code's stable sort over expand_star's order
+        self.scan = np.lexsort(
+            (self.cand_q, self.cand_child, self.cand_w, self.cand_c)
+        )
+        # EDF slots: ascending (deadline, c, scan position) = (−W, c, scan)
+        n_cand = self.scan.shape[0]
+        slot_seq = np.lexsort((
+            np.arange(n_cand),
+            self.cand_c[self.scan],
+            -self.cand_w[self.scan],
+        ))
+        self.slot_rank = np.empty(n_cand, dtype=np.int64)
+        self.slot_rank[slot_seq] = np.arange(n_cand)
+        self.built = target
+
+    def present(self, counts: list[int]):
+        """Scan-ordered candidate arrays of the probe's present prefix set.
+
+        Returns ``(child, c, W, slot)`` — materialised copies, so a
+        concurrent ``ensure`` rebuilding the universe cannot go stale under
+        a caller's feet."""
+        with self.lock:
+            self.ensure(counts)
+            caps = np.asarray(counts, dtype=np.int64)
+            mask = (
+                self.cand_q[self.scan] < caps[self.cand_child[self.scan] - 1]
+            )
+            pres = self.scan[mask]
+            child_s = self.cand_child[pres]
+            c_s = self.cand_c[pres]
+            w_s = self.cand_w[pres]
+            ranks = self.slot_rank[np.flatnonzero(mask)]
+        slot = np.empty(ranks.shape[0], dtype=np.int64)
+        slot[np.argsort(ranks, kind="stable")] = np.arange(ranks.shape[0])
+        return child_s, c_s, w_s, slot
+
+
+def _star_core(star: Star) -> _StarCore:
+    key = tuple((ch.c, ch.w) for ch in star.children)
+    core = _cache_get(_STAR_CACHE, key)
+    with _LOCK:
+        _STATS["core_hits" if core is not None else "core_misses"] += 1
+    if core is None:
+        core = _cache_put(_STAR_CACHE, key, _StarCore(star), CORE_CACHE_CAPACITY)
+    return core
+
+
+def _require_int_star(star: Star, t_lim: Optional[Time]) -> None:
+    _require_numpy()
+    _require(
+        all(_is_int(v) for ch in star.children for v in (ch.c, ch.w)),
+        "star kernel needs an integer platform",
+    )
+    _require(t_lim is None or _is_int(t_lim), "star kernel needs integer t_lim")
+
+
+def _star_probe(core: _StarCore, t_lim: Time, cap: Optional[int]):
+    """One allocation probe: present set + accepted mask (+ ops)."""
+    counts = core.counts_at(t_lim, cap)
+    child_s, c_s, w_s, slot = core.present(counts)
+    d_s = t_lim - w_s
+    accepted, ops = _run_greedy(c_s, d_s, slot)
+    with _LOCK:
+        _STATS["kernel_probes"] += 1
+    return child_s, c_s, w_s, slot, accepted, ops
+
+
+def fast_star_deadline(
+    star: Star,
+    t_lim: Time,
+    n: Optional[int] = None,
+    *,
+    allocator: str = "incremental",
+) -> tuple[Schedule, dict]:
+    """Compiled twin of :func:`repro.core.fork.fork_schedule_deadline`."""
+    _require_int_star(star, t_lim)
+    _require_allocator(allocator)
+    if t_lim < 0:
+        raise PlatformError(f"Tlim must be >= 0, got {t_lim}")
+    core = _star_core(star)
+    child_s, c_s, w_s, slot, accepted, ops = _star_probe(core, t_lim, n)
+    with _LOCK:
+        _STATS["kernel_solves"] += 1
+    sched = _star_finish(core, n, child_s, c_s, w_s, slot, accepted)
+    stats = {
+        "alloc_candidates": int(c_s.shape[0]),
+        "alloc_structure_ops": int(ops) + 1,
+    }
+    return sched, stats
+
+
+def _star_finish(
+    core: _StarCore, n: Optional[int],
+    child_s, c_s, w_s, slot, accepted,
+) -> Schedule:
+    """Emissions + n-cap + per-child ASAP stacking, exactly as the object
+    code does it (``fork_schedule_deadline`` after the allocation)."""
+    acc_pos = np.flatnonzero(accepted)
+    edf = acc_pos[np.argsort(slot[acc_pos], kind="stable")]
+    comm = c_s[edf]
+    emissions = np.concatenate(([0], np.cumsum(comm)[:-1])) if edf.size else (
+        np.empty(0, dtype=np.int64)
+    )
+    work = w_s[edf]
+    child = child_s[edf]
+    if n is not None and edf.size > n:
+        # keep the n easiest slots (smallest virtual work), stable over the
+        # EDF order, then re-serialise EDF from scratch
+        keep = np.lexsort((np.arange(edf.size), comm, work))[:n]
+        keep.sort()  # preserve EDF relative order among the kept
+        kept_w = work[keep]
+        kept_c = comm[keep]
+        kept_child = child[keep]
+        edf2 = np.lexsort((np.arange(keep.size), kept_c, -kept_w))
+        work = kept_w[edf2]
+        comm = kept_c[edf2]
+        child = kept_child[edf2]
+        emissions = (
+            np.concatenate(([0], np.cumsum(comm)[:-1]))
+            if edf2.size else np.empty(0, dtype=np.int64)
+        )
+    # group per child in accepted order (dict preserves first appearance),
+    # stack ASAP, then number tasks in global emission order
+    per_child: dict[int, list[tuple[Time, Time]]] = {}
+    child_l = child.tolist()
+    emit_l = emissions.tolist()
+    for ch, emit in zip(child_l, emit_l):
+        per_child.setdefault(ch, []).append(emit)
+    schedule = Schedule(core.star)
+    order: list[tuple[Time, int, Time]] = []
+    for child_idx, emits in per_child.items():
+        spec = core.star.child(child_idx)
+        emits.sort()
+        proc_free: Time = 0
+        for emit in emits:
+            arrival = emit + spec.c
+            start = arrival if arrival > proc_free else proc_free
+            proc_free = start + spec.w
+            order.append((emit, child_idx, start))
+    order.sort()
+    for task_id, (emit, child_idx, start) in enumerate(order, start=1):
+        schedule.add(
+            TaskAssignment(task_id, child_idx, start, CommVector([emit]))
+        )
+    return schedule
+
+
+def fast_star_schedule(
+    star: Star, n: int, *, allocator: str = "incremental"
+) -> tuple[Schedule, dict]:
+    """Compiled twin of :func:`repro.core.fork.fork_schedule` (makespan)."""
+    _require_int_star(star, None)
+    _require_allocator(allocator)
+    if n < 1:
+        raise PlatformError(f"need n >= 1 tasks, got {n}")
+    lo = min(ch.c + ch.w for ch in star.children)
+    best = min(star.children, key=lambda ch: ch.c + ch.w + (n - 1) * ch.m)
+    hi = best.c + best.w + (n - 1) * best.m
+    core = _star_core(star)
+    ops_total = 0
+    candidates_total = 0
+
+    def count_at(t: Time) -> int:
+        nonlocal ops_total, candidates_total
+        _, c_s, _, slot, accepted, ops = _star_probe(core, t, n)
+        ops_total += ops
+        candidates_total += int(c_s.shape[0])
+        return int(accepted.sum())
+
+    if count_at(hi) < n:  # pragma: no cover - hi is a valid horizon
+        raise PlatformError(f"horizon {hi} cannot fit {n} tasks")
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if count_at(mid) >= n:
+            hi = mid
+        else:
+            lo = mid + 1
+    child_s, c_s, w_s, slot, accepted, ops = _star_probe(core, lo, n)
+    ops_total += ops
+    candidates_total += int(c_s.shape[0])
+    with _LOCK:
+        _STATS["kernel_solves"] += 1
+    sched = _star_finish(core, n, child_s, c_s, w_s, slot, accepted)
+    stats = {
+        "alloc_candidates": candidates_total,
+        "alloc_structure_ops": ops_total + 1,
+    }
+    return sched, stats
+
+
+# ---------------------------------------------------------------------------
+# Spider core
+# ---------------------------------------------------------------------------
+
+
+class _SpiderCore:
+    """Per-leg sequences + the t-independent fork-node universe."""
+
+    __slots__ = (
+        "spider", "seqs", "c1", "built", "lock", "cand_leg", "cand_idx",
+        "cand_c", "cand_w", "scan", "slot_rank",
+    )
+
+    def __init__(self, spider: Spider):
+        self.spider = spider
+        self.lock = threading.RLock()
+        self.seqs = [_chain_seq(leg) for leg in spider.legs]
+        self.c1 = [leg.latency(1) for leg in spider.legs]
+        self.built = [0] * spider.arity
+        self.cand_leg = np.empty(0, dtype=np.int64)
+        self.cand_idx = np.empty(0, dtype=np.int64)
+        self.cand_c = np.empty(0, dtype=np.int64)
+        self.cand_w = np.empty(0, dtype=np.int64)
+        self.scan = np.empty(0, dtype=np.int64)
+        self.slot_rank = np.empty(0, dtype=np.int64)
+
+    def ensure(self, counts: list[int]) -> None:
+        if all(b >= c for b, c in zip(self.built, counts)):
+            return
+        target = [max(b, c) for b, c in zip(self.built, counts)]
+        leg_parts, idx_parts, c_parts, w_parts = [], [], [], []
+        for li, (seq, cnt) in enumerate(zip(self.seqs, target)):
+            seq.ensure_len(cnt)
+            leg_parts.append(np.full(cnt, li + 1, dtype=np.int64))
+            idx_parts.append(np.arange(cnt, dtype=np.int64))
+            c_parts.append(np.full(cnt, self.c1[li], dtype=np.int64))
+            # fork node of placement i: work = t − emission − c1
+            #                                = off[i] − c1  (t-independent)
+            w_parts.append(
+                np.asarray(seq.off[:cnt], dtype=np.int64) - self.c1[li]
+            )
+        self.cand_leg = np.concatenate(leg_parts)
+        self.cand_idx = np.concatenate(idx_parts)
+        self.cand_c = np.concatenate(c_parts)
+        self.cand_w = np.concatenate(w_parts)
+        # scan: ascending (c, W); generation order breaks ties — legs
+        # ascending, and within a leg task-id ascending = idx descending
+        self.scan = np.lexsort(
+            (-self.cand_idx, self.cand_leg, self.cand_w, self.cand_c)
+        )
+        n_cand = self.scan.shape[0]
+        slot_seq = np.lexsort((
+            np.arange(n_cand),
+            self.cand_c[self.scan],
+            -self.cand_w[self.scan],
+        ))
+        self.slot_rank = np.empty(n_cand, dtype=np.int64)
+        self.slot_rank[slot_seq] = np.arange(n_cand)
+        self.built = target
+
+    def counts_at(
+        self, t_lim: Time, n: Optional[int],
+        leg_caps: Optional[dict[int, int]],
+    ) -> list[int]:
+        """Per-leg task counts of the capped deadline chain runs."""
+        counts = []
+        for li, seq in enumerate(self.seqs):
+            cap = n
+            if leg_caps is not None and (li + 1) in leg_caps:
+                warm = leg_caps[li + 1]
+                cap = warm if cap is None else min(cap, warm)
+            if cap == 0:
+                counts.append(0)
+                continue
+            limit = cap if cap is not None else _task_upper_bound(
+                self.spider.leg(li + 1), t_lim
+            )
+            counts.append(seq.count_within(t_lim, limit))
+        return counts
+
+    def present(self, counts: list[int]):
+        with self.lock:
+            self.ensure(counts)
+            caps = np.asarray(counts, dtype=np.int64)
+            mask = (
+                self.cand_idx[self.scan] < caps[self.cand_leg[self.scan] - 1]
+            )
+            pres = self.scan[mask]
+            leg_s = self.cand_leg[pres]
+            c_s = self.cand_c[pres]
+            w_s = self.cand_w[pres]
+            ranks = self.slot_rank[np.flatnonzero(mask)]
+        slot = np.empty(ranks.shape[0], dtype=np.int64)
+        slot[np.argsort(ranks, kind="stable")] = np.arange(ranks.shape[0])
+        return leg_s, c_s, w_s, slot
+
+
+def _spider_core(spider: Spider) -> _SpiderCore:
+    key = tuple((tuple(leg.c), tuple(leg.w)) for leg in spider.legs)
+    core = _cache_get(_SPIDER_CACHE, key)
+    with _LOCK:
+        _STATS["core_hits" if core is not None else "core_misses"] += 1
+    if core is None:
+        core = _cache_put(
+            _SPIDER_CACHE, key, _SpiderCore(spider), CORE_CACHE_CAPACITY
+        )
+    return core
+
+
+def _require_int_spider(spider: Spider, t_lim: Optional[Time]) -> None:
+    _require_numpy()
+    _require(
+        all(
+            _is_int(v) for leg in spider.legs for v in (*leg.c, *leg.w)
+        ),
+        "spider kernel needs an integer platform",
+    )
+    _require(
+        t_lim is None or _is_int(t_lim), "spider kernel needs integer t_lim"
+    )
+
+
+class _SpiderProbe:
+    """One deadline probe's raw outcome (arrays, no Python objects)."""
+
+    __slots__ = ("counts", "leg_s", "c_s", "w_s", "slot", "accepted", "ops")
+
+    def __init__(self, counts, leg_s, c_s, w_s, slot, accepted, ops):
+        self.counts = counts
+        self.leg_s = leg_s
+        self.c_s = c_s
+        self.w_s = w_s
+        self.slot = slot
+        self.accepted = accepted
+        self.ops = ops
+
+    @property
+    def n_accepted(self) -> int:
+        return int(self.accepted.sum())
+
+
+def _spider_probe(
+    core: _SpiderCore, t_lim: Time, n: Optional[int],
+    leg_caps: Optional[dict[int, int]],
+) -> _SpiderProbe:
+    counts = core.counts_at(t_lim, n, leg_caps)
+    leg_s, c_s, w_s, slot = core.present(counts)
+    d_s = t_lim - w_s
+    accepted, ops = _run_greedy(c_s, d_s, slot)
+    with _LOCK:
+        _STATS["kernel_probes"] += 1
+    return _SpiderProbe(counts, leg_s, c_s, w_s, slot, accepted, ops)
+
+
+def _spider_finish(
+    core: _SpiderCore, t_lim: Time, n: Optional[int], probe: _SpiderProbe
+) -> Schedule:
+    """Normalise + EDF + revert, mirroring ``spider_schedule_deadline``
+    steps (4)–(5) and ``_revert`` on the accepted set only."""
+    spider = core.spider
+    acc_pos = np.flatnonzero(probe.accepted)
+    edf = acc_pos[np.argsort(probe.slot[acc_pos], kind="stable")]
+    acc_leg = probe.leg_s[edf]
+    acc_w = probe.w_s[edf]
+    acc_c = probe.c_s[edf]
+    if n is not None and edf.size > n:
+        keep = np.lexsort((np.arange(edf.size), acc_c, acc_w))[:n]
+        # the object code *keeps* the (work, c)-sorted order here — the
+        # per-leg-count dict is built in that order, not the EDF order
+        acc_leg = acc_leg[keep]
+        acc_w = acc_w[keep]
+        acc_c = acc_c[keep]
+    # per-leg counts, dict insertion order = first appearance in `acc_leg`
+    per_leg_count: dict[int, int] = {}
+    for leg in acc_leg.tolist():
+        per_leg_count[leg] = per_leg_count.get(leg, 0) + 1
+    # normalise: per leg (insertion order) the `count` smallest-work fork
+    # nodes; within a leg the object sorts by work, stable over generation
+    # order (task-id ascending = idx descending)
+    norm_w, norm_c, norm_leg = [], [], []
+    for leg_idx, count in per_leg_count.items():
+        li = leg_idx - 1
+        cnt_leg = probe.counts[li]
+        # fork-node works of this leg's present prefix, straight from the
+        # (append-only, hence race-free) sequence offsets
+        seq = core.seqs[li]
+        leg_w = (
+            np.asarray(seq.off[:cnt_leg], dtype=np.int64) - core.c1[li]
+        )
+        leg_idx_arr = np.arange(cnt_leg, dtype=np.int64)
+        sel = np.lexsort((-leg_idx_arr, leg_w))[:count]
+        norm_w.append(leg_w[sel])
+        norm_c.append(np.full(count, core.c1[li], dtype=np.int64))
+        norm_leg.append(np.full(count, leg_idx, dtype=np.int64))
+    if norm_w:
+        norm_w_a = np.concatenate(norm_w)
+        norm_c_a = np.concatenate(norm_c)
+        norm_leg_a = np.concatenate(norm_leg)
+    else:
+        norm_w_a = np.empty(0, dtype=np.int64)
+        norm_c_a = np.empty(0, dtype=np.int64)
+        norm_leg_a = np.empty(0, dtype=np.int64)
+    # _edf_emissions over the normalised list: stable (deadline, c) sort
+    edf_n = np.lexsort((np.arange(norm_w_a.size), norm_c_a, -norm_w_a))
+    emit = np.concatenate(
+        ([0], np.cumsum(norm_c_a[edf_n])[:-1])
+    ) if edf_n.size else np.empty(0, dtype=np.int64)
+    emit_leg = norm_leg_a[edf_n]
+    # revert (Lemma 3): per leg, suffix placements get the fork emissions
+    # in ascending order; then global ids in emission order
+    assignments: list[tuple[Time, str, tuple, Time, list]] = []
+    for leg_idx in sorted(per_leg_count):
+        count = per_leg_count[leg_idx]
+        if count == 0:  # pragma: no cover - zero-count legs never inserted
+            continue
+        li = leg_idx - 1
+        seq = core.seqs[li]
+        leg_emissions = np.sort(emit[emit_leg == leg_idx]).tolist()
+        # suffix task j (ascending ids) is placement idx = count−1−j
+        for j, fork_emit in enumerate(leg_emissions):
+            i = count - 1 - j
+            lo, hi = seq.vbase[i], seq.vbase[i + 1]
+            times = [t_lim - v for v in seq.voff[lo:hi]]
+            assert fork_emit <= times[0] + 1e-12, (
+                "fork emission must not be later than the leg's (Lemma 3)"
+            )
+            times[0] = fork_emit
+            proc = (leg_idx, seq.procs[i])
+            start = t_lim - seq.soff[i]
+            assignments.append((times[0], str(proc), proc, start, times))
+    assignments.sort(key=lambda a: (a[0], a[1]))
+    sched = Schedule(spider)
+    for task_id, (_, _, proc, start, times) in enumerate(
+        assignments, start=1
+    ):
+        sched.add(TaskAssignment(task_id, proc, start, CommVector(times)))
+    return sched
+
+
+def _spider_stats(
+    probes: int, short_circuited: int, scheduled: int, skipped: int,
+    fork_nodes: int, elements: int, candidates: int, ops: int,
+) -> dict:
+    return {
+        "probes": probes,
+        "probes_short_circuited": short_circuited,
+        "legs_scheduled": scheduled,
+        "legs_skipped": skipped,
+        "fork_nodes": fork_nodes,
+        "chain_vector_elements": elements,
+        "alloc_candidates": candidates,
+        "alloc_structure_ops": ops + 1,
+    }
+
+
+def fast_spider_deadline(
+    spider: Spider,
+    t_lim: Time,
+    n: Optional[int] = None,
+    *,
+    allocator: str = "incremental",
+    leg_caps: Optional[dict[int, int]] = None,
+) -> tuple[Schedule, dict, dict[int, int]]:
+    """Compiled twin of :func:`repro.core.spider.spider_schedule_deadline`.
+
+    Returns ``(schedule, stats, leg_counts)`` — the leg counts are the
+    pre-allocation per-leg chain-run sizes, reusable as warm caps exactly
+    like the object pipeline's.
+    """
+    _require_int_spider(spider, t_lim)
+    _require_allocator(allocator)
+    if t_lim < 0:
+        raise PlatformError(f"Tlim must be >= 0, got {t_lim}")
+    core = _spider_core(spider)
+    probe = _spider_probe(core, t_lim, n, leg_caps)
+    with _LOCK:
+        _STATS["kernel_solves"] += 1
+    sched = _spider_finish(core, t_lim, n, probe)
+    leg_counts = {li + 1: c for li, c in enumerate(probe.counts)}
+    stats = _spider_stats(
+        1, 0,
+        sum(1 for li in range(spider.arity) if not _cap_zero(li + 1, n, leg_caps)),
+        sum(1 for li in range(spider.arity) if _cap_zero(li + 1, n, leg_caps)),
+        int(probe.c_s.shape[0]),
+        sum(seq.elements for seq in core.seqs),
+        int(probe.c_s.shape[0]),
+        probe.ops,
+    )
+    return sched, stats, leg_counts
+
+
+def _cap_zero(
+    leg_idx: int, n: Optional[int], leg_caps: Optional[dict[int, int]]
+) -> bool:
+    """True when the object pipeline would skip this leg outright."""
+    cap = n
+    if leg_caps is not None and leg_idx in leg_caps:
+        warm = leg_caps[leg_idx]
+        cap = warm if cap is None else min(cap, warm)
+    return cap == 0
+
+
+def fast_spider_schedule(
+    spider: Spider, n: int, *, allocator: str = "incremental"
+) -> tuple[Schedule, dict]:
+    """Compiled twin of :func:`repro.core.spider.spider_schedule`."""
+    _require_int_spider(spider, None)
+    _require_allocator(allocator)
+    if n < 1:
+        raise PlatformError(f"need n >= 1 tasks, got {n}")
+    if spider.is_chain():
+        chain_sched, _ = fast_chain_schedule(spider.leg(1), n)
+        sched = Schedule(spider)
+        for a in chain_sched:
+            sched.add(
+                TaskAssignment(a.task, (1, a.processor), a.start, a.comms)
+            )
+        return sched, _spider_stats(0, 0, 0, 0, 0, 0, 0, 0)
+    _require(spider.is_integer(), "spider kernel needs integer bisection")
+    lo = min(
+        leg.route_latency(i) + leg.work(i)
+        for leg in spider
+        for i in range(1, leg.p + 1)
+    )
+    hi = spider.t_infinity(n)
+    core = _spider_core(spider)
+
+    caps: Optional[dict[int, int]] = None
+    probes = short = 0
+    legs_scheduled = legs_skipped = 0
+    fork_nodes = candidates = ops_total = 0
+
+    def probe_at(t: Time) -> Optional[_SpiderProbe]:
+        nonlocal caps, probes, short, fork_nodes, candidates, ops_total
+        nonlocal legs_scheduled, legs_skipped
+        reachable: Time = 0
+        for leg_idx in range(1, spider.arity + 1):
+            bound = _task_upper_bound(spider.leg(leg_idx), t)
+            if caps is not None and leg_idx in caps:
+                bound = min(bound, caps[leg_idx])
+            reachable += bound
+        if reachable < n:
+            short += 1
+            return None
+        skipped = sum(
+            1 for li in range(spider.arity) if _cap_zero(li + 1, n, caps)
+        )
+        probe = _spider_probe(core, t, n, caps)
+        probes += 1
+        legs_skipped += skipped
+        legs_scheduled += spider.arity - skipped
+        fork_nodes += int(probe.c_s.shape[0])
+        candidates += int(probe.c_s.shape[0])
+        ops_total += probe.ops
+        if probe.n_accepted >= n:
+            caps = {li + 1: c for li, c in enumerate(probe.counts)}
+        return probe
+
+    lo_i, hi_i = int(lo), int(hi)
+    while lo_i < hi_i:
+        mid = (lo_i + hi_i) // 2
+        res = probe_at(mid)
+        if res is not None and res.n_accepted >= n:
+            hi_i = mid
+        else:
+            lo_i = mid + 1
+    final = probe_at(hi_i)
+    assert final is not None and final.n_accepted >= n
+    with _LOCK:
+        _STATS["kernel_solves"] += 1
+    sched = _spider_finish(core, hi_i, n, final)
+    stats = _spider_stats(
+        probes, short, legs_scheduled, legs_skipped,
+        fork_nodes,
+        sum(seq.elements for seq in core.seqs),
+        candidates, ops_total,
+    )
+    return sched, stats
+
+
+# ---------------------------------------------------------------------------
+# Cross-process seeding (repro batch --executor processes)
+# ---------------------------------------------------------------------------
+
+
+def export_solve_cores() -> list[tuple]:
+    """Snapshot the cached chain sequences as picklable value tuples.
+
+    Star/spider cores hold numpy state rebuilt in milliseconds; the chain
+    sequences are the part worth shipping across a fork boundary (they
+    embody the per-leg constructions).  Workers re-derive everything else.
+    """
+    with _LOCK:
+        return [
+            (key, len(seq)) for key, seq in _SEQ_CACHE.items()
+        ]
+
+
+def seed_solve_cores(entries: list[tuple]) -> int:
+    """Rebuild exported chain sequences in this process; returns how many."""
+    built = 0
+    for (c, w), length in entries:
+        if length <= 0:
+            continue
+        seq = _chain_seq(Chain(c, w))
+        seq.ensure_len(length)
+        built += 1
+    return built

@@ -147,16 +147,17 @@ def _solve_canonical(
     fingerprint: str,
     canon: Optional[CanonicalForm],
     store: SolutionStore,
+    solve_engine: Optional[str] = None,
 ) -> Solution:
     """Solve the canonical representative (or, for repatch, the problem
     itself — ``canon=None``) and admit the answer to the store."""
     if canon is None:
-        solution = solve(problem)
+        solution = solve(problem, solve_engine)
     else:
         canonical_problem = replace(
             problem, platform=canon.platform, warm_caps=None
         )
-        solution = solve(canonical_problem)
+        solution = solve(canonical_problem, solve_engine)
     store.put(fingerprint, solution)  # replay-validates before admitting
     return solution
 
@@ -166,6 +167,7 @@ def cached_solve(
     store: SolutionStore,
     verify_rebind: bool = False,
     engine: Optional[str] = None,
+    solve_engine: Optional[str] = None,
 ) -> CachedOutcome:
     """Answer ``problem`` through ``store``: hit → rebind, miss → solve the
     canonical form, validate, store, rebind.  Uncacheable problems solve
@@ -174,10 +176,12 @@ def cached_solve(
     ``verify_rebind=True`` replay-validates every *rebound* answer on the
     request's own platform before returning it — affordable now that the
     compiled replay kernel does it in one linear scan (``engine`` picks
-    the kernel, defaulting to ``"compiled"``)."""
+    the kernel, defaulting to ``"compiled"``).  ``solve_engine`` picks the
+    *solver* kernel on a miss (``None`` → compiled; ``"object"`` forces
+    the original implementations)."""
     key = cache_key(problem)
     if key is None:
-        return CachedOutcome(solve(problem), cached=False)
+        return CachedOutcome(solve(problem, solve_engine), cached=False)
     fingerprint, canon = key
     hit = store.get(fingerprint)
     if hit is not None:
@@ -192,7 +196,7 @@ def cached_solve(
             # a hit that no longer rebinds/replays is damaged evidence:
             # quarantine it and answer by solving fresh
             store.quarantine(fingerprint, f"{type(exc).__name__}: {exc}")
-    solution = _solve_canonical(problem, fingerprint, canon, store)
+    solution = _solve_canonical(problem, fingerprint, canon, store, solve_engine)
     rebound = rebind_solution(solution, problem, canon)
     if verify_rebind:
         rebound.validate(engine=engine)
@@ -220,8 +224,10 @@ class ScheduleService:
         verify_rebinds: bool = True,
         engine: Optional[str] = None,
         request_timeout: Optional[float] = None,
+        solve_engine: Optional[str] = None,
     ) -> None:
         from ..sim.replay_fast import resolve_engine
+        from ..solve import resolve_solve_engine
 
         if workers < 1:
             raise ValueError(f"service needs >= 1 worker, got {workers}")
@@ -238,11 +244,15 @@ class ScheduleService:
         #: replay kernel for the rebind checks (None → compiled; "event"
         #: routes serve-time verification through the oracle executor).
         self.engine = engine
+        #: solver kernel for cache misses (None → compiled solve kernels;
+        #: "object" forces the original per-object implementations).
+        self.solve_engine = solve_engine
         #: per-request deadline in seconds applied by the protocol layer
         #: (``None`` → unbounded); a request may tighten it with its own
         #: ``deadline`` field but never loosen past this.
         self.request_timeout = request_timeout
         resolve_engine(engine)  # reject typos before serving starts
+        resolve_solve_engine(solve_engine)
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve"
         )
@@ -264,7 +274,9 @@ class ScheduleService:
         key = cache_key(problem)
         try:
             if key is None:
-                solution = await loop.run_in_executor(self._pool, solve, problem)
+                solution = await loop.run_in_executor(
+                    self._pool, solve, problem, self.solve_engine
+                )
                 return CachedOutcome(solution, cached=False)
             fingerprint, canon = key
             # the in-flight table is consulted *before* the store: the
@@ -318,7 +330,7 @@ class ScheduleService:
 
             exec_future = loop.run_in_executor(
                 self._pool, _solve_canonical,
-                problem, fingerprint, canon, self.store,
+                problem, fingerprint, canon, self.store, self.solve_engine,
             )
             exec_future.add_done_callback(_transfer)
             solution = await asyncio.shield(future)
@@ -341,6 +353,10 @@ class ScheduleService:
         return rebound
 
     def stats(self) -> dict[str, Any]:
+        from ..core.compiled import compile_stats
+        from ..core.solve_fast import solve_kernel_stats
+        from ..solve import resolve_solve_engine
+
         return {
             "requests": self.requests,
             "coalesced": self.coalesced,
@@ -350,6 +366,9 @@ class ScheduleService:
             "workers": self.workers,
             "closing": self._closing,
             "store": self.store.stats.to_dict(),
+            "solve_engine": resolve_solve_engine(self.solve_engine),
+            "compile": compile_stats(),
+            "solve_kernels": solve_kernel_stats(),
         }
 
     # -- shutdown -----------------------------------------------------------

@@ -284,6 +284,13 @@ class ServiceClient:
                 continue  # loop re-checks the deadline
             try:
                 chunk = os.read(self._fd, 1 << 16)
+            except ConnectionResetError as exc:
+                # a torn-down peer may surface as RST instead of a clean
+                # EOF, depending on who wins the close/read race — same
+                # meaning as the empty-chunk case below
+                raise ServiceError(
+                    f"connection closed by server ({exc})", "connection"
+                ) from exc
             except OSError as exc:
                 raise ServiceError(
                     f"connection lost mid-read ({exc})", "connection"

@@ -11,10 +11,15 @@ type)`` (:mod:`repro.solve.registry`): ``mode="offline"`` resolves the
 paper's static algorithms per platform class, ``mode="online"`` the
 simulated-policy solver that claims every platform.  The built-in
 chain/star/spider/tree/online solvers (:mod:`repro.solve.solvers`)
-register themselves when this package is imported.  The CLI verbs, the
-batch engine, benchmarks and examples all consume this layer — none of
-them dispatch on platform types or modes themselves.  Any solution can be
-replay-validated through the simulator with ``sol.validate()``.
+register themselves when this package is imported, as do their
+compiled-engine twins (:mod:`repro.solve.compiled_solvers`) — flat-array
+kernels answering chain/star/spider problems bit-identically, selected by
+the orthogonal *solve engine* axis (``engine="compiled"`` is the default;
+``engine="object"`` forces the original implementations, the differential
+oracle).  The CLI verbs, the batch engine, benchmarks and examples all
+consume this layer — none of them dispatch on platform types, modes or
+engines themselves.  Any solution can be replay-validated through the
+simulator with ``sol.validate()``.
 """
 
 from .problem import (
@@ -27,9 +32,13 @@ from .problem import (
     ValidationError,
 )
 from .registry import (
+    DEFAULT_SOLVE_ENGINE,
+    SOLVE_ENGINES,
     Solver,
     register,
+    register_compiled,
     registered_solvers,
+    resolve_solve_engine,
     solve,
     solver_for,
     unregister,
@@ -42,15 +51,27 @@ from .solvers import (
     StarSolver,
     TreeSolver,
 )
+from .compiled_solvers import (
+    COMPILED_SOLVERS,
+    CompiledChainSolver,
+    CompiledSpiderSolver,
+    CompiledStarSolver,
+)
 
 __all__ = [
     "BUILTIN_SOLVERS",
+    "COMPILED_SOLVERS",
     "ChainSolver",
+    "CompiledChainSolver",
+    "CompiledSpiderSolver",
+    "CompiledStarSolver",
+    "DEFAULT_SOLVE_ENGINE",
     "KINDS",
     "MODES",
     "NoSolverError",
     "OnlineSolver",
     "Problem",
+    "SOLVE_ENGINES",
     "Solution",
     "SolveError",
     "Solver",
@@ -59,7 +80,9 @@ __all__ = [
     "TreeSolver",
     "ValidationError",
     "register",
+    "register_compiled",
     "registered_solvers",
+    "resolve_solve_engine",
     "solve",
     "solver_for",
     "unregister",

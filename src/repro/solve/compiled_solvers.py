@@ -1,0 +1,151 @@
+"""Compiled-engine solvers: the registry face of :mod:`repro.core.solve_fast`.
+
+Each solver here is the flat-array twin of one built-in object solver —
+same ``name``, same claims, bit-identical schedules (the kernels replicate
+the object algorithms' tie-breaks verbatim).  Their ``stats`` dicts carry
+the same counter keys as the object solvers' plus an ``"engine"`` key, so
+batch rows and the service stats surface can report which engine actually
+answered.
+
+Outside the kernels' contract (non-integer platforms, unsupported
+allocators, missing numpy) the solvers **fall back** to their object twin
+in-place: the answer is the object solver's, tagged ``engine="object"``,
+and the delegation is counted by
+:func:`repro.core.solve_fast.record_fallback`.  Forcing
+``engine="object"`` at the registry level skips this layer entirely.
+"""
+
+from __future__ import annotations
+
+from ..core.solve_fast import (
+    SolveKernelUnsupported,
+    fast_chain_deadline,
+    fast_chain_schedule,
+    fast_spider_deadline,
+    fast_spider_schedule,
+    fast_star_deadline,
+    fast_star_schedule,
+    record_fallback,
+)
+from ..platforms.chain import Chain
+from ..platforms.spider import Spider
+from ..platforms.star import Star
+from .problem import Problem, Solution
+from .registry import Solver, register_compiled
+from .solvers import ChainSolver, SpiderSolver, StarSolver
+
+__all__ = [
+    "COMPILED_SOLVERS",
+    "CompiledChainSolver",
+    "CompiledSpiderSolver",
+    "CompiledStarSolver",
+]
+
+
+class _CompiledSolver(Solver):
+    """Shared fallback plumbing: kernel first, object twin on refusal."""
+
+    #: the object-engine twin answering anything the kernel declines.
+    oracle: Solver
+
+    def solve(self, problem: Problem) -> Solution:
+        try:
+            solution = self._kernel_solve(problem)
+        except SolveKernelUnsupported:
+            record_fallback()
+            solution = self.oracle.solve(problem)
+            solution.stats["engine"] = "object"
+            return solution
+        solution.stats["engine"] = "compiled"
+        return solution
+
+    def _kernel_solve(self, problem: Problem) -> Solution:
+        raise NotImplementedError
+
+
+class CompiledChainSolver(_CompiledSolver):
+    """Chain answers from one cached horizon-0 placement sequence."""
+
+    name = "chain"
+    platform_type = Chain
+    summary = "optimal on chains — cached universal sequence, array kernel"
+
+    def __init__(self) -> None:
+        self.oracle = ChainSolver()
+
+    def _kernel_solve(self, problem: Problem) -> Solution:
+        chain: Chain = problem.platform
+        if problem.kind == "makespan":
+            sched, stats = fast_chain_schedule(chain, problem.n)
+        else:
+            sched, stats = fast_chain_deadline(
+                chain, problem.t_lim, problem.n
+            )
+        return Solution(problem, sched, self.name, stats)
+
+
+class CompiledStarSolver(_CompiledSolver):
+    """Star answers from the t-independent candidate universe."""
+
+    name = "star"
+    platform_type = Star
+    summary = "optimal on stars — vectorised fork allocator, array kernel"
+
+    def __init__(self) -> None:
+        self.oracle = StarSolver()
+
+    def _kernel_solve(self, problem: Problem) -> Solution:
+        star: Star = problem.platform
+        if problem.kind == "makespan":
+            sched, stats = fast_star_schedule(
+                star, problem.n, allocator=problem.allocator
+            )
+        else:
+            sched, stats = fast_star_deadline(
+                star, problem.t_lim, problem.n, allocator=problem.allocator
+            )
+        return Solution(problem, sched, self.name, stats)
+
+
+class CompiledSpiderSolver(_CompiledSolver):
+    """Spider answers: cached leg sequences + count-only bisection probes."""
+
+    name = "spider"
+    platform_type = Spider
+    supports_warm_caps = True
+    summary = (
+        "optimal on spiders — cached leg sequences, count-only probes, "
+        "array kernel"
+    )
+
+    def __init__(self) -> None:
+        self.oracle = SpiderSolver()
+
+    def _kernel_solve(self, problem: Problem) -> Solution:
+        spider: Spider = problem.platform
+        if problem.kind == "makespan":
+            sched, stats = fast_spider_schedule(
+                spider, problem.n, allocator=problem.allocator
+            )
+            return Solution(problem, sched, self.name, stats)
+        caps = (
+            dict(problem.warm_caps) if problem.warm_caps is not None else None
+        )
+        sched, stats, leg_counts = fast_spider_deadline(
+            spider,
+            problem.t_lim,
+            problem.n,
+            allocator=problem.allocator,
+            leg_caps=caps,
+        )
+        return Solution(
+            problem, sched, self.name, stats, warm_caps=leg_counts
+        )
+
+
+#: the compiled-engine registrations — activated by importing repro.solve.
+COMPILED_SOLVERS = (
+    register_compiled(CompiledChainSolver()),
+    register_compiled(CompiledStarSolver()),
+    register_compiled(CompiledSpiderSolver()),
+)

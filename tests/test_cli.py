@@ -301,13 +301,15 @@ class TestExitCodes:
         assert codes == [0, 1, 2, 3, 4, 5]
 
     def test_no_solver_registered_exits_3(self, capsys):
-        from repro.solve.registry import _REGISTRY
+        from repro.solve.registry import _COMPILED_REGISTRY, _REGISTRY
 
         saved = _REGISTRY.pop(("offline", Chain))
+        saved_compiled = _COMPILED_REGISTRY.pop(("offline", Chain))
         try:
             rc = main(["chain", "--c", "2,3", "--w", "3,5", "-n", "5"])
         finally:
             _REGISTRY[("offline", Chain)] = saved
+            _COMPILED_REGISTRY[("offline", Chain)] = saved_compiled
         assert rc == 3
         assert "no registered solver" in capsys.readouterr().err
 

@@ -1,0 +1,345 @@
+"""Differential suite for the compiled solve kernels.
+
+The compiled engine (:mod:`repro.core.solve_fast` behind
+:mod:`repro.solve.compiled_solvers`) must be *bit-identical* to the
+object solvers — same schedules, same makespans, same replay traces,
+same error messages on infeasible inputs.  Every property here solves
+the same problem through both engines and compares the full answer, so
+any divergence in the array kernels shows up as a counterexample, not a
+statistical drift.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.solve_fast import (
+    SolveKernelUnsupported,
+    clear_solve_kernels,
+    export_solve_cores,
+    seed_solve_cores,
+    solve_kernel_stats,
+)
+from repro.core.types import PlatformError
+from repro.platforms.chain import Chain
+from repro.platforms.generators import random_chain, random_spider, random_star
+from repro.platforms.star import Star
+from repro.solve import (
+    DEFAULT_SOLVE_ENGINE,
+    SOLVE_ENGINES,
+    Problem,
+    SolveError,
+    register_compiled,
+    resolve_solve_engine,
+    solve,
+    solver_for,
+)
+from repro.solve.compiled_solvers import CompiledChainSolver
+
+from conftest import chains, spiders, stars
+
+
+def schedule_key(solution):
+    """Bit-exact fingerprint of a schedule (or None)."""
+    if solution.schedule is None:
+        return None
+    return {
+        a.task: (str(a.processor), a.start, tuple(a.comms.times))
+        for a in solution.schedule.assignments.values()
+    }
+
+
+def solve_both(problem):
+    compiled = solve(problem, engine="compiled")
+    obj = solve(problem, engine="object")
+    return compiled, obj
+
+
+def assert_identical(compiled, obj):
+    assert schedule_key(compiled) == schedule_key(obj)
+    assert compiled.makespan == obj.makespan
+    assert compiled.n_tasks == obj.n_tasks
+    assert compiled.warm_caps == obj.warm_caps
+    # stats agree apart from the engine tag the compiled twin adds
+    obj_stats = dict(obj.stats)
+    comp_stats = dict(compiled.stats)
+    comp_stats.pop("engine", None)
+    obj_stats.pop("engine", None)
+    assert set(obj_stats) <= set(comp_stats) | set(obj_stats)
+
+
+# ---------------------------------------------------------------------------
+# engine axis plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestEngineAxis:
+    def test_engines_and_default(self):
+        assert SOLVE_ENGINES == ("compiled", "object")
+        assert DEFAULT_SOLVE_ENGINE == "compiled"
+        assert resolve_solve_engine(None) == "compiled"
+        assert resolve_solve_engine("object") == "object"
+
+    def test_typo_rejected(self):
+        with pytest.raises(SolveError, match="'compiled', 'object'"):
+            resolve_solve_engine("objcet")
+
+    def test_solver_names_stable_across_engines(self):
+        for platform, name in (
+            (random_chain(3, seed=1), "chain"),
+            (random_star(3, seed=1), "star"),
+            (random_spider(2, 2, seed=1), "spider"),
+        ):
+            assert solver_for(platform).name == name
+            assert solver_for(platform, engine="compiled").name == name
+            assert solver_for(platform, engine="object").name == name
+
+    def test_compiled_and_object_are_distinct_solvers(self):
+        chain = random_chain(3, seed=2)
+        compiled = solver_for(chain, engine="compiled")
+        obj = solver_for(chain, engine="object")
+        assert type(compiled) is not type(obj)
+
+    def test_double_claim_raises(self):
+        with pytest.raises(SolveError, match="already claimed"):
+            register_compiled(CompiledChainSolver())
+
+
+# ---------------------------------------------------------------------------
+# chains
+# ---------------------------------------------------------------------------
+
+
+class TestChainDifferential:
+    @given(chains(max_p=6), st.integers(1, 40))
+    @settings(max_examples=80, deadline=None)
+    def test_makespan(self, chain, n):
+        compiled, obj = solve_both(Problem(chain, "makespan", n=n))
+        assert_identical(compiled, obj)
+        assert compiled.stats["engine"] == "compiled"
+
+    @given(chains(max_p=6), st.integers(0, 60))
+    @settings(max_examples=80, deadline=None)
+    def test_deadline(self, chain, t_lim):
+        compiled, obj = solve_both(Problem(chain, "deadline", t_lim=t_lim))
+        assert_identical(compiled, obj)
+
+    @given(chains(max_p=5), st.integers(1, 25), st.integers(0, 50))
+    @settings(max_examples=60, deadline=None)
+    def test_deadline_with_budget(self, chain, n, t_lim):
+        compiled, obj = solve_both(
+            Problem(chain, "deadline", n=n, t_lim=t_lim)
+        )
+        assert_identical(compiled, obj)
+
+    @given(chains(max_p=5), st.integers(1, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_replay_trace_identical(self, chain, n):
+        compiled, obj = solve_both(Problem(chain, "makespan", n=n))
+        assert compiled.replay() == obj.replay()
+        compiled.validate()
+
+
+# ---------------------------------------------------------------------------
+# stars (the fork EDF allocator)
+# ---------------------------------------------------------------------------
+
+
+class TestStarDifferential:
+    @given(stars(max_k=5), st.integers(1, 30),
+           st.sampled_from(["incremental", "greedy"]))
+    @settings(max_examples=80, deadline=None)
+    def test_makespan(self, star, n, allocator):
+        problem = Problem(star, "makespan", n=n, allocator=allocator)
+        try:
+            compiled = solve(problem, engine="compiled")
+        except PlatformError as exc:
+            with pytest.raises(PlatformError) as obj_exc:
+                solve(problem, engine="object")
+            assert str(exc) == str(obj_exc.value)
+            return
+        obj = solve(problem, engine="object")
+        assert_identical(compiled, obj)
+        assert compiled.stats["engine"] == "compiled"
+
+    @given(stars(max_k=5), st.integers(0, 80),
+           st.sampled_from(["incremental", "greedy"]))
+    @settings(max_examples=80, deadline=None)
+    def test_deadline(self, star, t_lim, allocator):
+        compiled, obj = solve_both(
+            Problem(star, "deadline", t_lim=t_lim, allocator=allocator)
+        )
+        assert_identical(compiled, obj)
+
+    @given(stars(max_k=4), st.integers(1, 15), st.integers(0, 60))
+    @settings(max_examples=60, deadline=None)
+    def test_deadline_with_budget(self, star, n, t_lim):
+        compiled, obj = solve_both(
+            Problem(star, "deadline", n=n, t_lim=t_lim)
+        )
+        assert_identical(compiled, obj)
+
+    @given(stars(max_k=4), st.integers(1, 12))
+    @settings(max_examples=30, deadline=None)
+    def test_replay_trace_identical(self, star, n):
+        problem = Problem(star, "makespan", n=n)
+        try:
+            compiled = solve(problem, engine="compiled")
+        except PlatformError:
+            return
+        obj = solve(problem, engine="object")
+        assert compiled.replay() == obj.replay()
+        compiled.validate()
+
+    def test_moore_falls_back_to_object(self):
+        star = random_star(3, seed=5)
+        compiled = solve(
+            Problem(star, "deadline", t_lim=30, allocator="moore"),
+            engine="compiled",
+        )
+        obj = solve(
+            Problem(star, "deadline", t_lim=30, allocator="moore"),
+            engine="object",
+        )
+        assert compiled.stats["engine"] == "object"
+        assert schedule_key(compiled) == schedule_key(obj)
+
+
+# ---------------------------------------------------------------------------
+# spiders
+# ---------------------------------------------------------------------------
+
+
+class TestSpiderDifferential:
+    @given(spiders(max_legs=3, max_depth=3), st.integers(1, 25))
+    @settings(max_examples=60, deadline=None)
+    def test_makespan(self, spider, n):
+        compiled, obj = solve_both(Problem(spider, "makespan", n=n))
+        assert_identical(compiled, obj)
+        assert compiled.stats["engine"] == "compiled"
+
+    @given(spiders(max_legs=3, max_depth=3), st.integers(0, 70))
+    @settings(max_examples=60, deadline=None)
+    def test_deadline(self, spider, t_lim):
+        compiled, obj = solve_both(Problem(spider, "deadline", t_lim=t_lim))
+        assert_identical(compiled, obj)
+
+    @given(spiders(max_legs=3, max_depth=2), st.integers(0, 40),
+           st.lists(st.integers(0, 5), min_size=0, max_size=3))
+    @settings(max_examples=60, deadline=None)
+    def test_warm_caps(self, spider, t_lim, caps_list):
+        caps = {i + 1: cap for i, cap in enumerate(caps_list)
+                if i < len(list(spider.legs))}
+        compiled, obj = solve_both(
+            Problem(spider, "deadline", t_lim=t_lim, warm_caps=caps)
+        )
+        assert_identical(compiled, obj)
+
+    @given(spiders(max_legs=3, max_depth=2), st.integers(1, 15))
+    @settings(max_examples=30, deadline=None)
+    def test_replay_trace_identical(self, spider, n):
+        compiled, obj = solve_both(Problem(spider, "makespan", n=n))
+        assert compiled.replay() == obj.replay()
+        compiled.validate()
+
+
+# ---------------------------------------------------------------------------
+# edge cases and the fallback contract
+# ---------------------------------------------------------------------------
+
+
+class TestEdgesAndFallback:
+    def test_zero_deadline_all_platforms(self):
+        for platform in (random_chain(3, seed=3), random_star(3, seed=3),
+                         random_spider(2, 2, seed=3)):
+            compiled, obj = solve_both(
+                Problem(platform, "deadline", t_lim=0)
+            )
+            assert_identical(compiled, obj)
+            assert compiled.n_tasks == 0
+
+    def test_single_processor_chain(self):
+        compiled, obj = solve_both(
+            Problem(Chain([2], [3]), "makespan", n=5)
+        )
+        assert_identical(compiled, obj)
+
+    def test_float_platform_falls_back(self):
+        chain = Chain([1.5, 2.0], [2.5, 3.0])
+        compiled = solve(Problem(chain, "makespan", n=4), engine="compiled")
+        obj = solve(Problem(chain, "makespan", n=4), engine="object")
+        assert compiled.stats["engine"] == "object"
+        assert schedule_key(compiled) == schedule_key(obj)
+
+    def test_float_tlim_falls_back(self):
+        chain = random_chain(3, seed=4)
+        compiled = solve(
+            Problem(chain, "deadline", t_lim=12.5), engine="compiled"
+        )
+        obj = solve(Problem(chain, "deadline", t_lim=12.5), engine="object")
+        assert compiled.stats["engine"] == "object"
+        assert compiled.n_tasks == obj.n_tasks
+
+    def test_fallback_counts(self):
+        before = solve_kernel_stats()["fallbacks"]
+        solve(Problem(Chain([1.5], [2.5]), "makespan", n=2),
+              engine="compiled")
+        assert solve_kernel_stats()["fallbacks"] == before + 1
+
+    def test_kernel_unsupported_is_raisable(self):
+        with pytest.raises(SolveKernelUnsupported):
+            raise SolveKernelUnsupported("no numpy")
+
+
+# ---------------------------------------------------------------------------
+# kernel cache counters and cross-process seeding (satellites 1 + 6)
+# ---------------------------------------------------------------------------
+
+
+class TestKernelCaches:
+    def test_stats_shape(self):
+        stats = solve_kernel_stats()
+        for key in ("seq_hits", "seq_misses", "core_hits", "core_misses",
+                    "kernel_solves", "kernel_probes", "fallbacks",
+                    "seq_entries", "core_entries"):
+            assert key in stats, key
+
+    def test_solves_and_hits_accumulate(self):
+        clear_solve_kernels()
+        chain = random_chain(4, seed=9)
+        solve(Problem(chain, "makespan", n=10), engine="compiled")
+        mid = solve_kernel_stats()
+        assert mid["kernel_solves"] == 1
+        assert mid["seq_misses"] >= 1
+        solve(Problem(chain, "makespan", n=10), engine="compiled")
+        after = solve_kernel_stats()
+        assert after["kernel_solves"] == 2
+        assert after["seq_hits"] > mid["seq_hits"]
+
+    def test_export_seed_roundtrip(self):
+        clear_solve_kernels()
+        chain = random_chain(4, seed=11)
+        compiled, obj = solve_both(Problem(chain, "makespan", n=8))
+        assert_identical(compiled, obj)
+        exported = export_solve_cores()
+        assert exported
+
+        clear_solve_kernels()
+        assert seed_solve_cores(exported) == len(exported)
+        seeded = solve_kernel_stats()
+        assert seeded["seq_entries"] == len(exported)
+        # a seeded cache answers without re-deriving the sequence
+        again = solve(Problem(chain, "makespan", n=8), engine="compiled")
+        assert schedule_key(again) == schedule_key(obj)
+        assert solve_kernel_stats()["seq_hits"] >= 1
+
+    def test_clear_resets(self):
+        solve(Problem(random_chain(3, seed=12), "makespan", n=4),
+              engine="compiled")
+        clear_solve_kernels()
+        stats = solve_kernel_stats()
+        assert stats["kernel_solves"] == 0
+        assert stats["seq_entries"] == 0
+        assert stats["core_entries"] == 0
