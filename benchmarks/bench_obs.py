@@ -1,0 +1,107 @@
+"""E20 — the price of the observability layer itself.
+
+The obs registry counts every kernel-cache event on the compiled
+solve+replay hot path, and the span hooks sit inline in dispatch.  This
+microbench times that loop twice — metrics enabled (tracing off, the
+production default) vs every mutation no-op'd via
+``repro.obs.metrics.set_enabled(False)`` — and asserts the enabled median
+is within **3%** of the disabled one.  Medians over many repeats keep the
+comparison out of scheduler-noise territory; the loop reuses warm caches
+so the counter increments are the *dominant* instrumentation cost being
+priced, not compile time.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from benchmarks.common import report
+
+#: the acceptance bound: enabled/disabled median ratio must stay below it.
+OBS_MAX_OVERHEAD = 1.03
+
+_REPEATS = 31
+_ROUNDS = 40
+
+
+def _workload():
+    from repro.platforms.chain import Chain
+    from repro.platforms.spider import Spider
+    from repro.solve import Problem, solve
+
+    problems = [
+        Problem(Chain([2, 3, 2], [3, 5, 4]), "makespan", n=64),
+        Problem(Spider([Chain([2, 3], [3, 5]), Chain([1], [4]),
+                        Chain([2, 2], [2, 6])]), "makespan", n=64),
+    ]
+
+    def run() -> None:
+        for problem in problems:
+            solve(problem).validate()  # compiled solve + compiled replay
+
+    return run
+
+
+def _time_ms(run) -> float:
+    t0 = time.perf_counter()
+    for _ in range(_ROUNDS):
+        run()
+    return (time.perf_counter() - t0) * 1000.0
+
+
+def kernel_obs_overhead() -> dict:
+    from repro.obs import metrics, tracing
+
+    run = _workload()
+    run()  # warm every cache before timing either arm
+    assert not tracing.tracing_enabled(), (
+        "overhead bound is defined with tracing off (the default); "
+        "unset REPRO_TRACE for this benchmark"
+    )
+    # interleave the arms sample-by-sample (alternating order inside each
+    # pair) so machine drift — thermal, page cache, a background task —
+    # lands on both equally instead of biasing whichever arm ran later
+    enabled_samples, disabled_samples = [], []
+    for i in range(_REPEATS):
+        arms = [True, False] if i % 2 else [False, True]
+        for enabled in arms:
+            prev = metrics.set_enabled(enabled)
+            try:
+                sample = _time_ms(run)
+            finally:
+                metrics.set_enabled(prev)
+            (enabled_samples if enabled else disabled_samples).append(sample)
+    enabled_ms = statistics.median(enabled_samples)
+    disabled_ms = statistics.median(disabled_samples)
+    return {
+        "enabled_ms": round(enabled_ms, 3),
+        "disabled_ms": round(disabled_ms, 3),
+        "overhead": round(enabled_ms / disabled_ms, 4),
+        "repeats": _REPEATS,
+        "rounds": _ROUNDS,
+    }
+
+
+def test_obs_overhead_bounded():
+    k = kernel_obs_overhead()
+
+    assert k["overhead"] < OBS_MAX_OVERHEAD, (
+        f"obs instrumentation costs {(k['overhead'] - 1) * 100:.1f}% on the "
+        f"compiled solve+replay path (enabled {k['enabled_ms']}ms vs "
+        f"disabled {k['disabled_ms']}ms) — the budget is "
+        f"{(OBS_MAX_OVERHEAD - 1) * 100:.0f}%"
+    )
+
+    report(
+        "E20  observability overhead: compiled solve+replay",
+        "\n".join(
+            f"  {label:<28}{value}"
+            for label, value in [
+                ("metrics enabled median", f"{k['enabled_ms']} ms"),
+                ("metrics disabled median", f"{k['disabled_ms']} ms"),
+                ("overhead ratio", f"{k['overhead']}x"),
+                ("budget", f"< {OBS_MAX_OVERHEAD}x"),
+            ]
+        ),
+    )

@@ -1,0 +1,31 @@
+"""``python -m benchmarks.figures``: regenerate every figure from the
+committed baselines (see the package docstring)."""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from . import generate_figures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.figures",
+        description="regenerate all SVG figures from committed BENCH_*.json",
+    )
+    parser.add_argument("--bench-dir", default=str(Path(__file__).parent.parent),
+                        help="directory holding BENCH_*.json "
+                        "(default: the benchmarks package)")
+    parser.add_argument("--out", default=None,
+                        help="output directory (default: <bench-dir>/figures/out)")
+    args = parser.parse_args(argv)
+    out = args.out if args.out else str(Path(args.bench_dir) / "figures" / "out")
+    written = generate_figures(args.bench_dir, out)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

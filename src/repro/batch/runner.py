@@ -50,7 +50,9 @@ from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
 from ..io.json_io import platform_from_dict
-from ..solve import Problem, Solver, solver_for
+from ..obs import metrics as _obs
+from ..obs import tracing as _trace
+from ..solve import Problem, Solver, record_dispatch, solver_for
 from .scenarios import BatchError, Scenario, ScenarioResult
 
 _IndexedScenario = tuple[int, Scenario]
@@ -181,7 +183,11 @@ def run_group(
                     )
                     solution, cached = outcome.solution, outcome.cached
                 else:
-                    solution = solver.solve(problem)
+                    # same count+span as registry.solve(): the runner
+                    # pre-resolved the solver per group, so it records
+                    # the dispatch itself
+                    with record_dispatch(solver, problem):
+                        solution = solver.solve(problem)
                 if validate:
                     # strict engine: a row is validated by exactly the
                     # engine it reports, or fails loudly (no silent
@@ -226,19 +232,45 @@ def run_group(
     return out
 
 
+def run_group_with_metrics(
+    group: Sequence[_IndexedScenario],
+    validate: bool = False,
+    cache=None,
+    engine: Optional[str] = None,
+    solve_engine: Optional[str] = None,
+) -> tuple[list[_IndexedResult], dict, list[dict]]:
+    """:func:`run_group` plus the worker's telemetry for this unit of work.
+
+    The process-pool target: returns ``(results, metrics_delta, spans)``
+    where the delta is :func:`repro.obs.metrics.diff_snapshots` across the
+    group (a worker serves many groups, so shipping *deltas* keeps the
+    parent's :meth:`~repro.obs.metrics.MetricsRegistry.merge` from double
+    counting) and the spans are drained from the worker's buffer."""
+    before = _obs.snapshot()
+    results = run_group(
+        group, validate=validate, cache=cache,
+        engine=engine, solve_engine=solve_engine,
+    )
+    delta = _obs.diff_snapshots(before, _obs.snapshot())
+    return results, delta, _trace.take_spans()
+
+
 def _seed_worker(payload: tuple) -> None:
     """Process-pool initializer: install the parent's caches in the worker.
 
     Without this every worker recompiles every platform core (and rebuilds
     every chain sequence) from scratch — the parent precompiles one core
     per scenario group and ships its fingerprint LRU across the fork
-    boundary instead."""
-    replay_cores, solve_entries = payload
+    boundary instead.  The parent's tracing flag rides along so worker
+    spans exist to be shipped back (spawn-method workers don't inherit a
+    ``set_tracing`` call made at runtime)."""
+    replay_cores, solve_entries, tracing = payload
     from ..core.compiled import seed_cores
     from ..core.solve_fast import seed_solve_cores
 
     seed_cores(replay_cores)
     seed_solve_cores(solve_entries)
+    _trace.set_tracing(tracing)
 
 
 def _export_caches(
@@ -264,7 +296,7 @@ def _export_caches(
             # parse/compile fails inside run_group with a proper
             # per-scenario error row; never here
             continue
-    return export_cores(), export_solve_cores()
+    return export_cores(), export_solve_cores(), _trace.tracing_enabled()
 
 
 def _split_for_workers(
@@ -346,11 +378,26 @@ class BatchRunner:
             # workers inherit the parent's compile caches (precompiled per
             # scenario group) instead of each recompiling from scratch
             payload = _export_caches(group_list)
+            solve_group_metered = partial(
+                run_group_with_metrics, validate=self.validate,
+                cache=self.cache, engine=self.engine,
+                solve_engine=self.solve_engine,
+            )
             with ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_seed_worker, initargs=(payload,),
             ) as pool:
-                batches = list(pool.map(solve_group, group_list))
+                batches = []
+                # each returned unit carries the worker's metric delta and
+                # spans for that group — fold them into the parent so
+                # worker kernel-cache hits and solve spans are visible in
+                # the parent's snapshot (the executor handoff)
+                for rows, delta, worker_spans in pool.map(
+                    solve_group_metered, group_list
+                ):
+                    _obs.merge_snapshot(delta)
+                    _trace.add_spans(worker_spans)
+                    batches.append(rows)
         else:
             with ThreadPoolExecutor(max_workers=self.workers) as pool:
                 batches = list(pool.map(solve_group, group_list))

@@ -438,10 +438,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="solve kernel for cache misses: 'compiled' = "
                    "flat-array kernels (default), 'object' = original solvers")
 
-    p = sub.add_parser("report", help="regenerate the headline results as markdown")
+    p = sub.add_parser("report", help="regenerate the headline results as "
+                       "markdown, or build the HTML dashboard")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--full", action="store_true", help="larger sweeps")
     p.add_argument("--out", metavar="PATH", help="write markdown to a file")
+    p.add_argument("--html", metavar="PATH",
+                   help="write the self-contained HTML dashboard (rendered "
+                   "from committed BENCH_*.json baselines; no solver sweeps, "
+                   "no network) instead of the markdown report")
+    p.add_argument("--bench-dir", metavar="DIR", default="benchmarks",
+                   help="directory holding BENCH_*.json (default: benchmarks)")
+    p.add_argument("--snapshot", metavar="PATH",
+                   help="metrics snapshot JSON (repro.obs snapshot shape) to "
+                   "render latency histograms and live counters from")
 
     return parser
 
@@ -651,6 +661,10 @@ def _run(args) -> int:
                 f"{EXECUTOR_MODES[args.executor]})"
             )
         mode = EXECUTOR_MODES[args.executor] if args.executor else args.mode
+        from .obs import metrics as obs_metrics
+        from .obs import tracing as obs_tracing
+
+        obs_before = obs_metrics.snapshot()
 
         def _run_batch():
             return run_batch(scenarios, workers=args.workers, mode=mode,
@@ -661,6 +675,7 @@ def _run(args) -> int:
         if args.profile:
             import cProfile
             import io
+            import json as _json
             import pstats
 
             prof = cProfile.Profile()
@@ -670,7 +685,28 @@ def _run(args) -> int:
             stats = pstats.Stats(prof, stream=buf)
             stats.sort_stats("cumulative").print_stats(25)
             print(buf.getvalue(), file=sys.stderr)
-            print(f"wrote profile {args.profile}", file=sys.stderr)
+            # machine-readable twin of the stderr summary: top functions
+            # by cumulative time, one JSON file next to the pstats dump
+            entries = [
+                {
+                    "file": func[0], "line": func[1], "name": func[2],
+                    "ncalls": nc, "primitive_calls": cc,
+                    "tottime": round(tt, 6), "cumtime": round(ct, 6),
+                }
+                for func, (cc, nc, tt, ct, _callers) in stats.stats.items()
+            ]
+            entries.sort(key=lambda e: (-e["cumtime"], e["file"], e["line"]))
+            summary = {
+                "schema": 1,
+                "total_seconds": round(stats.total_tt, 6),
+                "total_calls": stats.total_calls,
+                "functions": entries[:25],
+            }
+            with open(f"{args.profile}.json", "w", encoding="utf-8") as fh:
+                _json.dump(summary, fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote profile {args.profile} (+ {args.profile}.json)",
+                  file=sys.stderr)
         else:
             results = _run_batch()
         headers = ["scenario", "kind", "status", "makespan", "tasks", "rounds",
@@ -708,6 +744,15 @@ def _run(args) -> int:
               f"seq cache {ks['seq_hits']}/{ks['seq_hits'] + ks['seq_misses']} "
               f"hits, core cache {ks['core_hits']}/"
               f"{ks['core_hits'] + ks['core_misses']} hits")
+        # merged telemetry, scoped to this batch: for --executor processes
+        # the delta includes the workers' numbers (shipped back per group)
+        delta = obs_metrics.diff_snapshots(obs_before, obs_metrics.snapshot())
+        dispatches = sum(v for k, v in delta["counters"].items()
+                         if k.startswith("solve.dispatch"))
+        obs_line = f"obs: {dispatches} solve dispatches"
+        if obs_tracing.tracing_enabled():
+            obs_line += f", {len(obs_tracing.spans())} spans collected"
+        print(obs_line)
         if args.out:
             print(f"wrote {save_results(results, args.out)}")
         return EXIT_OK if not failed else EXIT_FAILURE
@@ -747,6 +792,21 @@ def _run(args) -> int:
         return 0
 
     if args.command == "report":
+        if args.html:
+            import json as _json
+
+            from .obs.report import build_dashboard
+
+            snap = None
+            if args.snapshot:
+                with open(args.snapshot, encoding="utf-8") as fh:
+                    snap = _json.load(fh)
+            html = build_dashboard(args.bench_dir, snap)
+            with open(args.html, "w", encoding="utf-8") as fh:
+                fh.write(html)
+            print(f"wrote {args.html}")
+            return EXIT_OK
+
         from .analysis.report import build_report
 
         rep = build_report(seed=args.seed, quick=not args.full)

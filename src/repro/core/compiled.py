@@ -39,6 +39,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable, Optional, Sequence
 
+from ..obs import metrics as _obs
 from .schedule import LinkKey, PlatformAdapter, PortKey, ProcKey, adapter_for
 from .types import ReproError, Time
 
@@ -135,14 +136,18 @@ CORE_CACHE_CAPACITY = 4096
 #: older generation are ignored, so a clear really does force a recompile
 #: even for platform objects that outlive it.
 _GENERATION = 0
-_STATS = {"core_hits": 0, "core_misses": 0, "direct": 0}
+#: counters live on the process-wide obs registry (``compile.*``);
+#: :func:`compile_stats` is the dict-shaped back-compat view over them.
+_STATS = _obs.REGISTRY.counter_group(
+    "compile", ("core_hits", "core_misses", "direct")
+)
 
 
 def compile_stats() -> dict[str, int]:
     """Copy of the compile-cache counters (hits/misses per isomorphism
-    class, plus uncacheable direct compiles)."""
-    with _LOCK:
-        return dict(_STATS)
+    class, plus uncacheable direct compiles) — a view over the obs
+    registry's ``compile.*`` counters."""
+    return _STATS.to_dict()
 
 
 def clear_compile_cache() -> None:
@@ -152,8 +157,7 @@ def clear_compile_cache() -> None:
     with _LOCK:
         _CORE_CACHE.clear()
         _GENERATION += 1
-        for key in _STATS:
-            _STATS[key] = 0
+    _STATS.reset()
 
 
 def export_cores() -> list["_Core"]:
@@ -342,8 +346,7 @@ def compile_platform(
     try:
         canon = canonical_form(platform)
     except (CanonError, RecursionError):
-        with _LOCK:
-            _STATS["direct"] += 1
+        _STATS.inc("direct")
         core = _build_core(adapter or adapter_for(platform), fingerprint="")
         bound = _identity_bind(core, platform, fingerprint=None)
     else:
@@ -351,13 +354,13 @@ def compile_platform(
             core = _CORE_CACHE.get(canon.fingerprint)
             if core is not None:
                 _CORE_CACHE.move_to_end(canon.fingerprint)
-                _STATS["core_hits"] += 1
+                _STATS.inc("core_hits")
         if core is None:
             # compile the *canonical representative*, so every isomorph
             # binds against identical arrays (keys via from_canonical)
             core = _build_core(adapter_for(canon.platform), canon.fingerprint)
             with _LOCK:
-                _STATS["core_misses"] += 1
+                _STATS.inc("core_misses")
                 _CORE_CACHE[canon.fingerprint] = core
                 _CORE_CACHE.move_to_end(canon.fingerprint)
                 while len(_CORE_CACHE) > CORE_CACHE_CAPACITY:

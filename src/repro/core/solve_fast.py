@@ -68,6 +68,7 @@ except Exception:  # pragma: no cover - the toolchain bakes numpy in
     np = None  # type: ignore[assignment]
     _HAVE_NUMPY = False
 
+from ..obs import metrics as _obs
 from ..platforms.chain import Chain
 from ..platforms.spider import Spider
 from ..platforms.star import Star
@@ -107,24 +108,30 @@ _SEQ_CACHE: "OrderedDict[tuple, _ChainSeq]" = OrderedDict()
 _STAR_CACHE: "OrderedDict[tuple, _StarCore]" = OrderedDict()
 _SPIDER_CACHE: "OrderedDict[tuple, _SpiderCore]" = OrderedDict()
 
-_STATS = {
-    "seq_hits": 0,
-    "seq_misses": 0,
-    "core_hits": 0,
-    "core_misses": 0,
-    "kernel_solves": 0,
-    "kernel_probes": 0,
-    "fallbacks": 0,
-}
+#: counters live on the process-wide obs registry (``solve_kernel.*``);
+#: :func:`solve_kernel_stats` is the dict-shaped back-compat view.
+_STATS = _obs.REGISTRY.counter_group(
+    "solve_kernel",
+    (
+        "seq_hits",
+        "seq_misses",
+        "core_hits",
+        "core_misses",
+        "kernel_solves",
+        "kernel_probes",
+        "fallbacks",
+    ),
+)
 
 
 def solve_kernel_stats() -> dict:
-    """Counters of the solve-kernel caches (hits/misses/solves/fallbacks)."""
+    """Counters of the solve-kernel caches (hits/misses/solves/fallbacks)
+    — a view over the obs registry's ``solve_kernel.*`` counters."""
+    stats = _STATS.to_dict()
     with _LOCK:
-        stats = dict(_STATS)
         stats["seq_entries"] = len(_SEQ_CACHE)
         stats["core_entries"] = len(_STAR_CACHE) + len(_SPIDER_CACHE)
-        return stats
+    return stats
 
 
 def clear_solve_kernels() -> None:
@@ -133,14 +140,12 @@ def clear_solve_kernels() -> None:
         _SEQ_CACHE.clear()
         _STAR_CACHE.clear()
         _SPIDER_CACHE.clear()
-        for key in _STATS:
-            _STATS[key] = 0
+    _STATS.reset()
 
 
 def record_fallback() -> None:
     """Count one compiled→object delegation (called by the solver layer)."""
-    with _LOCK:
-        _STATS["fallbacks"] += 1
+    _STATS.inc("fallbacks")
 
 
 def _is_int(value: object) -> bool:
@@ -288,11 +293,7 @@ class _ChainSeq:
 def _chain_seq(chain: Chain) -> _ChainSeq:
     key = _chain_key(chain)
     seq = _cache_get(_SEQ_CACHE, key)
-    with _LOCK:
-        if seq is None:
-            _STATS["seq_misses"] += 1
-        else:
-            _STATS["seq_hits"] += 1
+    _STATS.inc("seq_misses" if seq is None else "seq_hits")
     if seq is None:
         seq = _cache_put(_SEQ_CACHE, key, _ChainSeq(chain), SEQ_CACHE_CAPACITY)
     return seq
@@ -322,8 +323,7 @@ def fast_chain_schedule(chain: Chain, n: int) -> tuple[Schedule, dict]:
     if n < 1:
         raise PlatformError(f"need n >= 1 tasks, got {n}")
     seq = _chain_seq(chain)
-    with _LOCK:
-        _STATS["kernel_solves"] += 1
+    _STATS.inc("kernel_solves")
     return seq.makespan_schedule(n), _chain_stats(seq, n)
 
 
@@ -335,8 +335,7 @@ def fast_chain_deadline(
     seq = _chain_seq(chain)
     limit = n if n is not None else _task_upper_bound(chain, t_lim)
     sched, placed = seq.deadline_schedule(t_lim, limit)
-    with _LOCK:
-        _STATS["kernel_solves"] += 1
+    _STATS.inc("kernel_solves")
     return sched, _chain_stats(seq, placed)
 
 
@@ -561,8 +560,7 @@ class _StarCore:
 def _star_core(star: Star) -> _StarCore:
     key = tuple((ch.c, ch.w) for ch in star.children)
     core = _cache_get(_STAR_CACHE, key)
-    with _LOCK:
-        _STATS["core_hits" if core is not None else "core_misses"] += 1
+    _STATS.inc("core_hits" if core is not None else "core_misses")
     if core is None:
         core = _cache_put(_STAR_CACHE, key, _StarCore(star), CORE_CACHE_CAPACITY)
     return core
@@ -583,8 +581,7 @@ def _star_probe(core: _StarCore, t_lim: Time, cap: Optional[int]):
     child_s, c_s, w_s, slot = core.present(counts)
     d_s = t_lim - w_s
     accepted, ops = _run_greedy(c_s, d_s, slot)
-    with _LOCK:
-        _STATS["kernel_probes"] += 1
+    _STATS.inc("kernel_probes")
     return child_s, c_s, w_s, slot, accepted, ops
 
 
@@ -602,8 +599,7 @@ def fast_star_deadline(
         raise PlatformError(f"Tlim must be >= 0, got {t_lim}")
     core = _star_core(star)
     child_s, c_s, w_s, slot, accepted, ops = _star_probe(core, t_lim, n)
-    with _LOCK:
-        _STATS["kernel_solves"] += 1
+    _STATS.inc("kernel_solves")
     sched = _star_finish(core, n, child_s, c_s, w_s, slot, accepted)
     stats = {
         "alloc_candidates": int(c_s.shape[0]),
@@ -701,8 +697,7 @@ def fast_star_schedule(
     child_s, c_s, w_s, slot, accepted, ops = _star_probe(core, lo, n)
     ops_total += ops
     candidates_total += int(c_s.shape[0])
-    with _LOCK:
-        _STATS["kernel_solves"] += 1
+    _STATS.inc("kernel_solves")
     sched = _star_finish(core, n, child_s, c_s, w_s, slot, accepted)
     stats = {
         "alloc_candidates": candidates_total,
@@ -811,8 +806,7 @@ class _SpiderCore:
 def _spider_core(spider: Spider) -> _SpiderCore:
     key = tuple((tuple(leg.c), tuple(leg.w)) for leg in spider.legs)
     core = _cache_get(_SPIDER_CACHE, key)
-    with _LOCK:
-        _STATS["core_hits" if core is not None else "core_misses"] += 1
+    _STATS.inc("core_hits" if core is not None else "core_misses")
     if core is None:
         core = _cache_put(
             _SPIDER_CACHE, key, _SpiderCore(spider), CORE_CACHE_CAPACITY
@@ -860,8 +854,7 @@ def _spider_probe(
     leg_s, c_s, w_s, slot = core.present(counts)
     d_s = t_lim - w_s
     accepted, ops = _run_greedy(c_s, d_s, slot)
-    with _LOCK:
-        _STATS["kernel_probes"] += 1
+    _STATS.inc("kernel_probes")
     return _SpiderProbe(counts, leg_s, c_s, w_s, slot, accepted, ops)
 
 
@@ -986,8 +979,7 @@ def fast_spider_deadline(
         raise PlatformError(f"Tlim must be >= 0, got {t_lim}")
     core = _spider_core(spider)
     probe = _spider_probe(core, t_lim, n, leg_caps)
-    with _LOCK:
-        _STATS["kernel_solves"] += 1
+    _STATS.inc("kernel_solves")
     sched = _spider_finish(core, t_lim, n, probe)
     leg_counts = {li + 1: c for li, c in enumerate(probe.counts)}
     stats = _spider_stats(
@@ -1079,8 +1071,7 @@ def fast_spider_schedule(
             lo_i = mid + 1
     final = probe_at(hi_i)
     assert final is not None and final.n_accepted >= n
-    with _LOCK:
-        _STATS["kernel_solves"] += 1
+    _STATS.inc("kernel_solves")
     sched = _spider_finish(core, hi_i, n, final)
     stats = _spider_stats(
         probes, short, legs_scheduled, legs_skipped,

@@ -34,11 +34,14 @@ callables; options with no canonical encoding) fall through to a direct
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Any, Optional
 
 from ..core.schedule import Schedule, TaskAssignment
+from ..obs import metrics as _obs
+from ..obs import tracing as _trace
 from ..solve import Problem, Solution, solve
 from .canon import CanonError, CanonicalForm, canonical_form, problem_fingerprint
 from .store import SolutionStore
@@ -151,14 +154,16 @@ def _solve_canonical(
 ) -> Solution:
     """Solve the canonical representative (or, for repatch, the problem
     itself — ``canon=None``) and admit the answer to the store."""
-    if canon is None:
-        solution = solve(problem, solve_engine)
-    else:
-        canonical_problem = replace(
-            problem, platform=canon.platform, warm_caps=None
-        )
-        solution = solve(canonical_problem, solve_engine)
-    store.put(fingerprint, solution)  # replay-validates before admitting
+    with _trace.span("service.solve_canonical", mode=problem.mode):
+        if canon is None:
+            solution = solve(problem, solve_engine)
+        else:
+            canonical_problem = replace(
+                problem, platform=canon.platform, warm_caps=None
+            )
+            solution = solve(canonical_problem, solve_engine)
+        with _trace.span("service.store_put"):
+            store.put(fingerprint, solution)  # replay-validates before admitting
     return solution
 
 
@@ -262,6 +267,17 @@ class ScheduleService:
         self.coalesced = 0
         self.errors = 0
         self.timeouts = 0
+        self._started = time.monotonic()
+        #: per-instance registry for op latencies — several services can
+        #: coexist in one test process without cross-contaminating their
+        #: percentiles; process-wide counters still accumulate globally.
+        self.metrics = _obs.MetricsRegistry()
+
+    def _record(self, name: str) -> None:
+        """Bump one request-lifecycle counter, mirroring it into the
+        process-wide obs registry as ``service.<name>``."""
+        setattr(self, name, getattr(self, name) + 1)
+        _obs.counter(f"service.{name}").inc()
 
     # -- core ---------------------------------------------------------------
 
@@ -270,7 +286,7 @@ class ScheduleService:
         loop = asyncio.get_running_loop()
         if self._closing:
             raise ServiceClosingError("service is shutting down")
-        self.requests += 1
+        self._record("requests")
         key = cache_key(problem)
         try:
             if key is None:
@@ -286,7 +302,7 @@ class ScheduleService:
             # (with the compiled validator that race is routinely lost)
             inflight = self._inflight.get(fingerprint)
             if inflight is not None:
-                self.coalesced += 1
+                self._record("coalesced")
                 solution = await asyncio.shield(inflight)
                 rebound = await loop.run_in_executor(
                     self._pool, self._rebound, solution, problem, canon
@@ -343,13 +359,14 @@ class ScheduleService:
         except asyncio.CancelledError:
             raise  # a deadline firing is the *request's* outcome, not an error
         except Exception:
-            self.errors += 1
+            self._record("errors")
             raise
 
     def _rebound(self, solution: Solution, problem: Problem, canon) -> Solution:
-        rebound = rebind_solution(solution, problem, canon)
-        if self.verify_rebinds:
-            rebound.validate(engine=self.engine)  # one linear scan (default)
+        with _trace.span("service.rebind", verify=self.verify_rebinds):
+            rebound = rebind_solution(solution, problem, canon)
+            if self.verify_rebinds:
+                rebound.validate(engine=self.engine)  # one linear scan (default)
         return rebound
 
     def stats(self) -> dict[str, Any]:
@@ -365,11 +382,30 @@ class ScheduleService:
             "inflight": len(self._inflight),
             "workers": self.workers,
             "closing": self._closing,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "latency": self._latency(),
             "store": self.store.stats.to_dict(),
             "solve_engine": resolve_solve_engine(self.solve_engine),
             "compile": compile_stats(),
             "solve_kernels": solve_kernel_stats(),
         }
+
+    def _latency(self) -> dict[str, dict[str, float]]:
+        """Per-op latency percentiles from this instance's histograms —
+        ``{op: {"count": n, "p50_ms": …, "p95_ms": …, "p99_ms": …}}``.
+        Percentiles are bucket-upper-edge estimates (see
+        :meth:`repro.obs.metrics.Histogram.percentile`)."""
+        out: dict[str, dict[str, float]] = {}
+        for key, hist in self.metrics.histograms("service.op_ms").items():
+            # keys look like "service.op_ms{op=solve}"
+            op = key.partition("{op=")[2].rstrip("}") or "?"
+            out[op] = {
+                "count": hist.count,
+                "p50_ms": hist.percentile(0.50),
+                "p95_ms": hist.percentile(0.95),
+                "p99_ms": hist.percentile(0.99),
+            }
+        return out
 
     # -- shutdown -----------------------------------------------------------
 

@@ -51,6 +51,8 @@ from typing import Any, Mapping, Optional
 
 from ..core.types import InfeasibleScheduleError, ReproError
 from ..io.json_io import problem_from_dict, problem_to_dict, solution_from_dict, solution_to_dict
+from ..obs import metrics as _obs
+from ..obs import tracing as _trace
 from ..solve import Problem, Solution
 from ..solve.problem import NoSolverError, ValidationError
 from .engine import ServiceClosingError
@@ -106,17 +108,43 @@ def error_kind_of(exc: BaseException) -> str:
     return "error"
 
 
+def _observe_op(service: Any, op: str, t0: float) -> None:
+    """Record one request's latency into the service's per-op histogram
+    (``stats`` exposes the percentiles).  Fake services in tests may not
+    carry a registry — then only the global counter is bumped."""
+    elapsed_ms = (time.perf_counter() - t0) * 1000.0
+    registry = getattr(service, "metrics", None)
+    if isinstance(registry, _obs.MetricsRegistry):
+        registry.histogram("service.op_ms", op=op).observe(elapsed_ms)
+    _obs.counter("service.ops", op=op).inc()
+
+
 async def handle_request(service: Any, raw_line: str) -> dict[str, Any]:
-    """Decode one request line, serve it, encode the response dict."""
+    """Decode one request line, serve it, encode the response dict.
+
+    Every request — including malformed ones — is timed into the
+    service's per-op latency histogram (surfaced as percentiles by the
+    ``stats`` op) and spanned as ``service.request`` when tracing is on."""
+    t0 = time.perf_counter()
     try:
         request = json.loads(raw_line)
         if not isinstance(request, dict):
             raise ValueError("request must be a JSON object")
     except ValueError as exc:
+        _observe_op(service, "malformed", t0)
         return {"id": None, "ok": False, "error": f"malformed request: {exc}",
                 "error_kind": "bad_request"}
-    rid = request.get("id")
     op = request.get("op", "solve")
+    with _trace.span("service.request", op=op):
+        response = await _serve_op(service, request, op)
+    _observe_op(service, op, t0)
+    return response
+
+
+async def _serve_op(
+    service: Any, request: dict[str, Any], op: str
+) -> dict[str, Any]:
+    rid = request.get("id")
     if op == "ping":
         return {"id": rid, "ok": True, "pong": True,
                 "protocol": PROTOCOL_VERSION}
@@ -144,6 +172,7 @@ async def handle_request(service: Any, raw_line: str) -> dict[str, Any]:
             outcome = await service.submit(problem)
     except asyncio.TimeoutError:
         service.timeouts = getattr(service, "timeouts", 0) + 1
+        _obs.counter("service.timeouts").inc()
         return {"id": rid, "ok": False,
                 "error": f"request exceeded its {deadline}s deadline",
                 "error_kind": "timeout"}

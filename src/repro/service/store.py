@@ -40,6 +40,7 @@ from pathlib import Path
 from typing import Any, Optional, Union
 
 from ..io.json_io import solution_from_dict, solution_to_dict
+from ..obs import metrics as _obs
 from ..solve.problem import Solution
 
 __all__ = ["SolutionStore", "StoreStats"]
@@ -61,6 +62,13 @@ class StoreStats:
     #: SQLite-level failures (locked / corrupt database file) the store
     #: degraded around by serving the memory tier only.
     sqlite_errors: int = 0
+
+    def record(self, name: str, n: int = 1) -> None:
+        """Bump one counter field, mirroring it into the process-wide obs
+        registry as ``store.<name>`` (per-instance fields stay canonical —
+        several stores can coexist in one process)."""
+        setattr(self, name, getattr(self, name) + n)
+        _obs.counter(f"store.{name}").inc(n)
 
     @property
     def hits(self) -> int:
@@ -154,7 +162,7 @@ class SolutionStore:
             sol = self._memory.get(fingerprint)
             if sol is not None:
                 self._memory.move_to_end(fingerprint)
-                self.stats.memory_hits += 1
+                self.stats.record("memory_hits")
                 return sol
             if self._db is not None:
                 try:
@@ -163,7 +171,7 @@ class SolutionStore:
                         (fingerprint,),
                     ).fetchone()
                 except sqlite3.Error:
-                    self.stats.sqlite_errors += 1
+                    self.stats.record("sqlite_errors")
                     row = None
                 if row is not None:
                     try:
@@ -171,15 +179,15 @@ class SolutionStore:
                         if self.validate_on_write:
                             sol.validate(engine=self.engine)
                     except Exception as exc:
-                        self.stats.corrupt_rows += 1
+                        self.stats.record("corrupt_rows")
                         self._quarantine_locked(
                             fingerprint, f"{type(exc).__name__}: {exc}", row[0]
                         )
                     else:
-                        self.stats.sqlite_hits += 1
+                        self.stats.record("sqlite_hits")
                         self._admit(fingerprint, sol)
                         return sol
-            self.stats.misses += 1
+            self.stats.record("misses")
             return None
 
     def __contains__(self, fingerprint: str) -> bool:
@@ -193,7 +201,7 @@ class SolutionStore:
                     "SELECT 1 FROM solutions WHERE fingerprint = ?", (fingerprint,)
                 ).fetchone()
             except sqlite3.Error:
-                self.stats.sqlite_errors += 1
+                self.stats.record("sqlite_errors")
                 return False
             return row is not None
 
@@ -207,7 +215,7 @@ class SolutionStore:
                     "SELECT COUNT(*) FROM solutions"
                 ).fetchone()
             except sqlite3.Error:
-                self.stats.sqlite_errors += 1
+                self.stats.record("sqlite_errors")
                 return len(self._memory)
             return max(count, len(self._memory))
 
@@ -225,11 +233,11 @@ class SolutionStore:
                 solution.validate(engine=self.engine)
             except Exception:
                 with self._lock:
-                    self.stats.rejected += 1
+                    self.stats.record("rejected")
                 raise
         payload = json.dumps(solution_to_dict(solution), sort_keys=True)
         with self._lock:
-            self.stats.writes += 1
+            self.stats.record("writes")
             if self._db is not None:
                 try:
                     with self._db:
@@ -241,7 +249,7 @@ class SolutionStore:
                 except sqlite3.Error:
                     # locked / corrupt file: degrade to memory-only for
                     # this write rather than crash the serving loop
-                    self.stats.sqlite_errors += 1
+                    self.stats.record("sqlite_errors")
             self._admit(fingerprint, solution)
 
     def _admit(self, fingerprint: str, solution: Solution) -> None:
@@ -251,7 +259,7 @@ class SolutionStore:
         self._memory.move_to_end(fingerprint)
         while len(self._memory) > self.capacity:
             self._memory.popitem(last=False)
-            self.stats.evictions += 1
+            self.stats.record("evictions")
 
     # -- quarantine ----------------------------------------------------------
 
@@ -287,7 +295,7 @@ class SolutionStore:
                     "DELETE FROM solutions WHERE fingerprint = ?", (fingerprint,)
                 )
         except sqlite3.Error:
-            self.stats.sqlite_errors += 1
+            self.stats.record("sqlite_errors")
 
     def quarantined(self) -> list[tuple[str, str]]:
         """``(fingerprint, reason)`` of every quarantined row (empty when
@@ -304,7 +312,7 @@ class SolutionStore:
                     )
                 ]
             except sqlite3.Error:
-                self.stats.sqlite_errors += 1
+                self.stats.record("sqlite_errors")
                 return []
 
     # -- lifecycle -----------------------------------------------------------

@@ -45,6 +45,8 @@ from typing import Callable, Optional
 
 from ..core.compiled import CompiledPlatform, CompileError, compile_platform
 from ..core.schedule import Schedule
+from ..obs import metrics as _obs
+from ..obs import tracing as _trace
 from ..core.types import EPS, EventBudgetExceeded, SimulationError, Time
 from .engine import DEFAULT_MAX_EVENTS
 from .events import Event, EventKind
@@ -344,14 +346,19 @@ def replay_schedule(schedule: Schedule, engine: Optional[str] = None) -> Trace:
     from .executor import execute  # local import: executor is a peer module
 
     resolved = resolve_engine(engine)
-    if resolved == "compiled":
-        try:
-            return execute_fast(schedule)
-        except CompileError:
-            if engine is not None:
-                raise
-            return execute(schedule)
-    return execute(schedule)
+    with _trace.span("replay", kind="execute", engine=resolved):
+        if resolved == "compiled":
+            try:
+                trace = execute_fast(schedule)
+                _obs.counter("replay.execute", engine="compiled").inc()
+                return trace
+            except CompileError:
+                if engine is not None:
+                    raise
+                _obs.counter("replay.execute", engine="event_fallback").inc()
+                return execute(schedule)
+        _obs.counter("replay.execute", engine="event").inc()
+        return execute(schedule)
 
 
 def verify_schedule(
@@ -361,11 +368,16 @@ def verify_schedule(
     from .executor import verify_by_execution
 
     resolved = resolve_engine(engine)
-    if resolved == "compiled":
-        try:
-            return verify_fast(schedule, lazy_trace=lazy_trace)
-        except CompileError:
-            if engine is not None:
-                raise
-            return verify_by_execution(schedule)
-    return verify_by_execution(schedule)
+    with _trace.span("replay", kind="verify", engine=resolved):
+        if resolved == "compiled":
+            try:
+                trace = verify_fast(schedule, lazy_trace=lazy_trace)
+                _obs.counter("replay.verify", engine="compiled").inc()
+                return trace
+            except CompileError:
+                if engine is not None:
+                    raise
+                _obs.counter("replay.verify", engine="event_fallback").inc()
+                return verify_by_execution(schedule)
+        _obs.counter("replay.verify", engine="event").inc()
+        return verify_by_execution(schedule)

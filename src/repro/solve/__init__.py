@@ -35,6 +35,7 @@ from .registry import (
     DEFAULT_SOLVE_ENGINE,
     SOLVE_ENGINES,
     Solver,
+    record_dispatch,
     register,
     register_compiled,
     registered_solvers,

@@ -30,12 +30,15 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from ..obs import metrics as _obs
+from ..obs import tracing as _trace
 from .problem import MODES, NoSolverError, Problem, Solution, SolveError
 
 __all__ = [
     "DEFAULT_SOLVE_ENGINE",
     "SOLVE_ENGINES",
     "Solver",
+    "record_dispatch",
     "register",
     "register_compiled",
     "registered_solvers",
@@ -193,9 +196,25 @@ def registered_solvers(mode: Optional[str] = None) -> list[Solver]:
     )
 
 
+def record_dispatch(solver: Solver, problem: Problem):
+    """Count one solver dispatch in the process-wide obs registry
+    (``solve.dispatch{kind=…,mode=…,solver=…}``) and return the ``solve``
+    span to run it under.  Shared by :func:`solve` and the batch runner's
+    pre-resolved per-group path, so every dispatch is counted exactly once
+    no matter which entry point served it."""
+    _obs.counter(
+        "solve.dispatch",
+        solver=solver.name, mode=problem.mode, kind=problem.kind,
+    ).inc()
+    return _trace.span(
+        "solve", solver=solver.name, mode=problem.mode, kind=problem.kind
+    )
+
+
 def solve(problem: Problem, engine: Optional[str] = None) -> Solution:
     """Answer ``problem`` with the registered solver for its platform and
     mode, on the chosen solve engine (compiled by default)."""
     solver = solver_for(problem.platform, problem.mode, engine)
     solver.check_claims(problem)
-    return solver.solve(problem)
+    with record_dispatch(solver, problem):
+        return solver.solve(problem)

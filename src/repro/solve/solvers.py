@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Any, Mapping
 
 from ..core.chain import ChainRunStats
+from ..obs import metrics as _obs
 from ..core.chain_fast import schedule_chain_deadline_fast, schedule_chain_fast
 from ..core.fork import AllocStats, fork_schedule, fork_schedule_deadline
 from ..core.spider import (
@@ -59,7 +60,7 @@ def _alloc_stats_dict(stats: AllocStats) -> dict:
 
 
 def _spider_stats_dict(stats: SpiderRunStats) -> dict:
-    return {
+    flat = {
         "probes": stats.probes,
         "probes_short_circuited": stats.probes_short_circuited,
         "legs_scheduled": stats.legs_scheduled,
@@ -69,6 +70,12 @@ def _spider_stats_dict(stats: SpiderRunStats) -> dict:
         "alloc_candidates": stats.alloc.candidates,
         "alloc_structure_ops": stats.alloc.structure_ops,
     }
+    # Per-run dataclasses stay canonical (each Solution carries its own
+    # numbers); the process-wide registry accumulates the totals.
+    for key, value in flat.items():
+        if value:
+            _obs.counter(f"spider.{key}").inc(value)
+    return flat
 
 
 class ChainSolver(Solver):

@@ -1,0 +1,129 @@
+"""Deterministic pure-stdlib SVG charts — bars and histograms.
+
+The figure pipeline (``python -m benchmarks.figures``) and the obs
+dashboard (``repro report --html``) both draw from committed baselines
+and must be **byte-stable**: same inputs, same bytes.  So everything here
+iterates in caller-given order, formats numbers through one fixed
+function, and emits no timestamps, ids, or random attributes.
+
+Same idiom as :mod:`repro.viz.svg` (the Gantt renderer): hand-written SVG
+strings, monospace text, no external dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+from xml.sax.saxutils import escape
+
+__all__ = ["bar_chart", "histogram_chart", "fmt_num"]
+
+#: matches the Gantt palette so mixed figures look like one family.
+_PALETTE = [
+    "#4c72b0", "#dd8452", "#55a868", "#c44e52", "#8172b3",
+    "#937860", "#da8bc3", "#8c8c8c", "#ccb974", "#64b5cd",
+]
+
+_BAR_H = 22
+_BAR_GAP = 8
+_LABEL_W = 230
+
+
+def fmt_num(value: float) -> str:
+    """One fixed number format for every chart (byte-stability): integers
+    plain, floats to 4 significant-ish places with trailing zeros cut."""
+    if value != value or value in (float("inf"), float("-inf")):
+        return str(value)
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    text = f"{value:.4f}".rstrip("0").rstrip(".")
+    return text if text not in ("", "-") else "0"
+
+
+def _color(i: int) -> str:
+    return _PALETTE[i % len(_PALETTE)]
+
+
+def bar_chart(
+    title: str,
+    items: Sequence[tuple[str, float]],
+    *,
+    width: int = 720,
+    unit: str = "",
+    colors: Optional[Sequence[int]] = None,
+) -> str:
+    """Horizontal bar chart: one ``(label, value)`` row per bar, caller
+    order preserved.  ``colors`` optionally indexes the palette per bar
+    (default: bar position)."""
+    top = 34
+    height = top + len(items) * (_BAR_H + _BAR_GAP) + 14
+    vmax = max((v for _, v in items if v > 0), default=1.0)
+    span = width - _LABEL_W - 90
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="12">',
+        f'<text x="8" y="20" font-size="14">{escape(title)}</text>',
+    ]
+    for i, (label, value) in enumerate(items):
+        y = top + i * (_BAR_H + _BAR_GAP)
+        w = max(1.0, span * max(value, 0.0) / vmax)
+        color = _color(colors[i] if colors is not None else i)
+        out.append(
+            f'<text x="8" y="{y + _BAR_H * 0.7:.1f}">{escape(label)}</text>'
+        )
+        out.append(
+            f'<rect x="{_LABEL_W}" y="{y}" width="{w:.1f}" '
+            f'height="{_BAR_H}" fill="{color}"/>'
+        )
+        suffix = f" {unit}" if unit else ""
+        out.append(
+            f'<text x="{_LABEL_W + w + 6:.1f}" y="{y + _BAR_H * 0.7:.1f}">'
+            f"{fmt_num(value)}{escape(suffix)}</text>"
+        )
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def histogram_chart(
+    title: str,
+    edges: Sequence[float],
+    counts: Sequence[int],
+    *,
+    width: int = 720,
+    unit: str = "ms",
+) -> str:
+    """Vertical bucket-count chart for one fixed-edge histogram (the obs
+    shape: ``len(counts) == len(edges) + 1``, last slot = overflow)."""
+    labels = [f"≤{fmt_num(e)}" for e in edges] + [f">{fmt_num(edges[-1])}"]
+    top, bottom, left = 34, 58, 44
+    plot_h = 140
+    height = top + plot_h + bottom
+    n = len(counts)
+    slot = max(1.0, (width - left - 10) / n)
+    cmax = max(max(counts), 1)
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="11">',
+        f'<text x="8" y="20" font-size="14">{escape(title)} '
+        f"({escape(unit)})</text>",
+        f'<line x1="{left}" y1="{top + plot_h}" x2="{width - 10}" '
+        f'y2="{top + plot_h}" stroke="#888"/>',
+    ]
+    for i, count in enumerate(counts):
+        x = left + i * slot
+        h = plot_h * count / cmax
+        out.append(
+            f'<rect x="{x + 1:.1f}" y="{top + plot_h - h:.1f}" '
+            f'width="{slot - 2:.1f}" height="{h:.1f}" fill="{_color(0)}"/>'
+        )
+        if count:
+            out.append(
+                f'<text x="{x + slot / 2:.1f}" y="{top + plot_h - h - 4:.1f}" '
+                f'text-anchor="middle">{count}</text>'
+            )
+        out.append(
+            f'<text x="{x + slot / 2:.1f}" y="{top + plot_h + 12:.1f}" '
+            f'text-anchor="middle" transform="rotate(45 {x + slot / 2:.1f} '
+            f'{top + plot_h + 12:.1f})">{escape(labels[i])}</text>'
+        )
+    out.append("</svg>")
+    return "\n".join(out)

@@ -196,6 +196,71 @@ class TestRunnerModes:
         ]
 
 
+class TestObsAcrossExecutors:
+    """Worker-side metrics/spans must land in the parent registry."""
+
+    def _scenarios(self):
+        return [
+            Scenario(f"s{seed}", _spider_dict(seed), "makespan", n=8)
+            for seed in (1, 2, 3, 4)
+        ]
+
+    def _dispatches(self):
+        from repro.obs import metrics as obs_metrics
+
+        counters = obs_metrics.snapshot()["counters"]
+        return sum(
+            v for k, v in counters.items() if k.startswith("solve.dispatch")
+        )
+
+    def test_process_pool_merges_worker_metrics(self):
+        from repro.obs import metrics as obs_metrics
+
+        scs = self._scenarios()
+        kernel_before = obs_metrics.counter(
+            "solve_kernel.kernel_solves"
+        ).value
+        dispatch_before = self._dispatches()
+        results = run_batch(scs, workers=2, mode="process")
+        assert all(r.ok for r in results)
+        # the solves ran in pool workers, yet both the dispatch counters
+        # and the kernel-stat family advanced in *this* process
+        assert self._dispatches() == dispatch_before + len(scs)
+        assert (
+            obs_metrics.counter("solve_kernel.kernel_solves").value
+            >= kernel_before + len(scs)
+        )
+
+    def test_process_pool_ships_worker_spans(self):
+        from repro.obs import tracing as obs_tracing
+
+        prev = obs_tracing.set_tracing(True)
+        obs_tracing.clear_spans()
+        try:
+            run_batch(self._scenarios(), workers=2, mode="process")
+            spans = obs_tracing.take_spans()
+        finally:
+            obs_tracing.set_tracing(prev)
+            obs_tracing.clear_spans()
+        solve_spans = [s for s in spans if s["name"] == "solve"]
+        assert len(solve_spans) >= 4
+        # every solve ran in a pool worker, so every span carries a
+        # foreign pid — proof they crossed the process boundary
+        import os
+
+        assert all(s["pid"] != os.getpid() for s in solve_spans)
+
+    def test_thread_pool_counts_once_per_scenario(self):
+        before = self._dispatches()
+        run_batch(self._scenarios(), workers=3, mode="thread")
+        assert self._dispatches() == before + 4
+
+    def test_serial_counts_once_per_scenario(self):
+        before = self._dispatches()
+        run_batch(self._scenarios(), workers=1)
+        assert self._dispatches() == before + 4
+
+
 class TestSerialisation:
     def test_results_roundtrip(self, tmp_path):
         results = run_batch(

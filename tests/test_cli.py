@@ -175,6 +175,33 @@ class TestBatchCommand:
         assert main(["batch", "--scenarios", str(path)]) == 1
         assert "0/1 scenarios ok" in capsys.readouterr().out
 
+    def test_batch_summary_reports_obs_dispatches(self, capsys, tmp_path):
+        path = self._scenario_file(tmp_path)
+        assert main(["batch", "--scenarios", str(path)]) == 0
+        assert "obs: 2 solve dispatches" in capsys.readouterr().out
+
+    def test_batch_profile_writes_machine_readable_json(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        path = self._scenario_file(tmp_path)
+        prof = tmp_path / "prof.out"
+        assert main(["batch", "--scenarios", str(path),
+                     "--profile", str(prof)]) == 0
+        assert prof.exists()
+        payload = json.loads((tmp_path / "prof.out.json").read_text())
+        assert payload["schema"] == 1
+        assert payload["total_seconds"] >= 0
+        assert payload["total_calls"] > 0
+        assert 0 < len(payload["functions"]) <= 25
+        top = payload["functions"][0]
+        assert set(top) == {"file", "line", "name", "ncalls",
+                            "primitive_calls", "tottime", "cumtime"}
+        # sorted by cumulative time, heaviest first
+        cums = [f["cumtime"] for f in payload["functions"]]
+        assert cums == sorted(cums, reverse=True)
+
 
 class TestParser:
     def test_requires_command(self):

@@ -10,6 +10,7 @@ bit-exactly on the *relabeled* platform.
 import asyncio
 import json
 import random
+import time
 
 import pytest
 
@@ -197,6 +198,49 @@ class TestServiceEngine:
         assert stats["workers"] == 2
         assert stats["store"]["hit_rate"] == 0.0
         service._pool.shutdown(wait=True)
+
+    def test_stats_reports_uptime(self):
+        service = ScheduleService(store=SolutionStore(), workers=1)
+        try:
+            first = service.stats()["uptime_s"]
+            assert first >= 0
+            time.sleep(0.01)
+            assert service.stats()["uptime_s"] >= first
+        finally:
+            service._pool.shutdown(wait=True)
+
+    def test_stats_latency_percentiles_per_op(self):
+        from repro.io.json_io import problem_to_dict
+
+        service = ScheduleService(store=SolutionStore(), workers=1)
+        try:
+            problem = Problem(Chain([2, 3], [3, 5]), "makespan", n=5)
+            request = {"op": "solve",
+                       "problem": problem_to_dict(problem)}
+            for _ in range(3):
+                asyncio.run(handle_request(service, json.dumps(request)))
+            asyncio.run(handle_request(service, json.dumps({"op": "ping"})))
+            latency = service.stats()["latency"]
+        finally:
+            service._pool.shutdown(wait=True)
+        assert latency["solve"]["count"] == 3
+        assert latency["ping"]["count"] == 1
+        for op_stats in latency.values():
+            # bucketed estimates from the shared ms ladder, not exact
+            assert op_stats["p50_ms"] is not None
+            assert (op_stats["p50_ms"] <= op_stats["p95_ms"]
+                    <= op_stats["p99_ms"])
+
+    def test_latency_is_per_instance(self):
+        a = ScheduleService(store=SolutionStore(), workers=1)
+        b = ScheduleService(store=SolutionStore(), workers=1)
+        try:
+            asyncio.run(handle_request(a, json.dumps({"op": "ping"})))
+            assert "ping" in a.stats()["latency"]
+            assert b.stats()["latency"] == {}
+        finally:
+            a._pool.shutdown(wait=True)
+            b._pool.shutdown(wait=True)
 
 
 class TestProtocol:
