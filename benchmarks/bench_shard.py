@@ -1,0 +1,85 @@
+"""E16 — the self-healing sharded fleet: saturation curve + chaos contract.
+
+Regenerates the ``BENCH_shard.json`` kernels and asserts the shard
+acceptance claims:
+
+* **saturation** — a real supervised fleet (worker subprocesses behind
+  the consistent-hash router) serves every request of the zipf / uniform
+  / all-miss mixes at 1→8 workers without losing or shedding any, and
+  the 8-worker zipf throughput clears the core-count-scaled speedup
+  floor (the full 5× serial claim needs >= 10 usable cores — a 1-core
+  container physically cannot parallelise CPU-bound workers, so there
+  the floor gates fleet overhead at < 2× instead);
+* **chaos** — with SIGKILLs, hangs, slow responses and garbled frames
+  injected into a live 4-shard fleet, every accepted request still gets
+  exactly one replay-valid answer or an explicit retriable error: zero
+  invariant violations across >= 30 worker kills.
+"""
+
+from benchmarks.common import report
+from benchmarks.kernels import (
+    SHARD_MIN_KILLS,
+    SHARD_WORKERS,
+    kernel_shard_chaos,
+    kernel_shard_saturation,
+    shard_speedup_floor,
+)
+
+
+def test_shard_saturation_claims():
+    k = kernel_shard_saturation()
+
+    assert k["all_ok"], "the saturation run must not lose a single request"
+    assert [p["workers"] for p in k["points"]] == list(SHARD_WORKERS)
+    floor = shard_speedup_floor(k["usable_cores"])
+    assert k["speedup_vs_serial"] >= floor, (
+        f"zipf at 8 workers only {k['speedup_vs_serial']}x serial "
+        f"({k['zipf_rps_at_8']} vs {k['serial_zipf_rps']} rps) — below "
+        f"the {floor}x floor for {k['usable_cores']} usable core(s)"
+    )
+
+    report(
+        "E16a sharded fleet: saturation 1-8 workers",
+        "\n".join(
+            f"  {label:<28}{value}"
+            for label, value in [
+                ("usable cores", k["usable_cores"]),
+                ("serial zipf", f"{k['serial_zipf_rps']} req/s"),
+                *[(f"{p['workers']} worker(s) zipf",
+                   f"{p['zipf_rps']} req/s") for p in k["points"]],
+                ("speedup vs serial", f"{k['speedup_vs_serial']}x"),
+                ("enforced floor", f"{floor}x"),
+            ]
+        ),
+    )
+
+
+def test_shard_chaos_contract():
+    k = kernel_shard_chaos()
+
+    assert k["kills"] >= SHARD_MIN_KILLS, (
+        f"only {k['kills']} kills landed; the gate needs "
+        f">= {SHARD_MIN_KILLS}"
+    )
+    assert k["violations"] == 0, (
+        f"{k['violations']} invariant violation(s): "
+        f"{k['violation_samples']}"
+    )
+
+    report(
+        "E16b sharded fleet: chaos contract",
+        "\n".join(
+            f"  {label:<28}{value}"
+            for label, value in [
+                ("worker kills (SIGKILL)", k["kills"]),
+                ("hangs / slows / garbles",
+                 f"{k['hangs']} / {k['slows']} / {k['garbles']}"),
+                ("requests", k["chaos_requests"]),
+                ("valid answers", k["ok_answers"]),
+                ("explicit retriable errors", k["retriable_errors"]),
+                ("re-dispatched mid-death", k["redispatched"]),
+                ("supervisor restarts", k["restarts"]),
+                ("invariant violations", k["violations"]),
+            ]
+        ),
+    )

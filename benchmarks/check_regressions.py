@@ -7,7 +7,7 @@ Usage (opt-in, not part of the default pytest run)::
     python -m benchmarks.check_regressions --skip-legacy   # fast paths only
     python -m benchmarks.check_regressions --family online  # one family only
 
-Seven committed baseline files, one per kernel family:
+Eight committed baseline files, one per kernel family:
 
 * ``BENCH_spider.json`` — the spider/chain/allocator/batch kernels plus the
   headline ``speedup`` block;
@@ -36,6 +36,14 @@ Seven committed baseline files, one per kernel family:
   claim check asserts the compiled engine answers >= 10× faster (median)
   with zero kernel fallbacks (every answer is asserted bit-identical and
   replay-validated inside the kernel).
+* ``BENCH_shard.json`` — the sharded fleet (``repro serve --shards N``):
+  a 1→8-worker saturation curve on zipf/uniform/all-miss request mixes
+  plus a chaos run (SIGKILLs, hangs, slow responses, garbled frames
+  against a live 4-shard fleet).  Its claim check asserts zero chaos
+  invariant violations across >= 30 worker kills, and gates the 8-worker
+  zipf throughput against a core-count-scaled floor (the full 5× serial
+  claim is physical only with >= 10 usable cores; a 1-core container
+  instead gates fleet overhead at < 2×).
 
 Every kernel is run fresh; a kernel slower than ``--threshold`` (default
 2×) its committed seconds fails the check.  Operation counters (and for
@@ -63,6 +71,7 @@ SERVICE_BASELINE_PATH = _HERE / "BENCH_service.json"
 REPLAY_BASELINE_PATH = _HERE / "BENCH_replay.json"
 CHURN_BASELINE_PATH = _HERE / "BENCH_churn.json"
 SOLVE_BASELINE_PATH = _HERE / "BENCH_solve.json"
+SHARD_BASELINE_PATH = _HERE / "BENCH_shard.json"
 
 #: fields that legitimately wobble run-to-run (wall clock and everything
 #: derived from it) — threshold- or claim-checked, never compared exactly.
@@ -81,6 +90,29 @@ _TIMING_FIELDS = {
     "repair_median_ms",
     "resolve_median_ms",
     "object_median_ms",
+    # shard family: saturation points and chaos tallies are scheduling-
+    # dependent (how many kills landed mid-solve, how many requests the
+    # clients pushed through) — the *contract* fields (violations,
+    # violation_samples, all_ok) stay exact-compared.
+    "usable_cores",
+    "speedup_floor",
+    "serial_zipf_rps",
+    "zipf_rps_at_8",
+    "speedup_vs_serial",
+    "points",
+    "kills",
+    "chaos_requests",
+    "ok_answers",
+    "retriable_errors",
+    "hangs",
+    "slows",
+    "garbles",
+    "redispatched",
+    "shed",
+    "unavailable_errors",
+    "timeouts_seen",
+    "restarts",
+    "garbled_frames",
 }
 
 #: the service family's acceptance floor: warm (all-hit) median latency
@@ -337,6 +369,78 @@ def check_solve_claims(fresh: dict[str, dict]) -> list[str]:
     return failures
 
 
+def build_shard_payload(kernels: dict[str, dict]) -> dict:
+    from benchmarks.kernels import (
+        SERVICE_N,
+        SERVICE_POOL_SIZE,
+        SHARD_CHAOS_SHARDS,
+        SHARD_MIN_KILLS,
+        SHARD_MIN_SPEEDUP,
+        SHARD_REQUESTS,
+        SHARD_SEED,
+        SHARD_WORKERS,
+    )
+
+    return {
+        "schema": 1,
+        "kernels": kernels,
+        "workload": {
+            "workers": list(SHARD_WORKERS),
+            "requests_per_workload": SHARD_REQUESTS,
+            "pool": SERVICE_POOL_SIZE,
+            "n": SERVICE_N,
+            "seed": SHARD_SEED,
+            "chaos_shards": SHARD_CHAOS_SHARDS,
+            "min_kills": SHARD_MIN_KILLS,
+            "max_speedup_floor": SHARD_MIN_SPEEDUP,
+        },
+    }
+
+
+def check_shard_claims(fresh: dict[str, dict]) -> list[str]:
+    """Fresh-run acceptance claims of the shard family.
+
+    The chaos contract is absolute: zero invariant violations over at
+    least :data:`~benchmarks.kernels.SHARD_MIN_KILLS` worker kills —
+    every request got exactly one replay-valid answer or an explicit
+    retriable error.  The throughput claim (>= 5x serial at 8 workers on
+    the zipf workload) is physical only when the host has the cores to
+    run 8 workers in parallel, so the enforced floor is scaled by the
+    usable core count (:func:`~benchmarks.kernels.shard_speedup_floor`);
+    the full 5x is asserted on hosts with >= 10 usable cores."""
+    from benchmarks.kernels import SHARD_MIN_KILLS, shard_speedup_floor
+
+    failures = []
+    sat = fresh.get("shard_saturation")
+    if sat is not None:
+        floor = shard_speedup_floor(sat["usable_cores"])
+        if sat["speedup_vs_serial"] < floor:
+            failures.append(
+                f"shard_saturation: zipf throughput at 8 workers only "
+                f"{sat['speedup_vs_serial']}x serial "
+                f"({sat['zipf_rps_at_8']} vs {sat['serial_zipf_rps']} rps) "
+                f"— below the {floor}x floor for "
+                f"{sat['usable_cores']} usable core(s)"
+            )
+        if not sat["all_ok"]:
+            failures.append(
+                "shard_saturation: the saturation run lost requests"
+            )
+    chaos = fresh.get("shard_chaos")
+    if chaos is not None:
+        if chaos["violations"] != 0:
+            failures.append(
+                f"shard_chaos: {chaos['violations']} invariant "
+                f"violation(s) — first: {chaos['violation_samples'][:1]}"
+            )
+        if chaos["kills"] < SHARD_MIN_KILLS:
+            failures.append(
+                f"shard_chaos: only {chaos['kills']} worker kills landed "
+                f"(gate needs >= {SHARD_MIN_KILLS})"
+            )
+    return failures
+
+
 def _families() -> list[dict]:
     from benchmarks.kernels import (
         CHURN_KERNELS,
@@ -344,6 +448,7 @@ def _families() -> list[dict]:
         ONLINE_KERNELS,
         REPLAY_KERNELS,
         SERVICE_KERNELS,
+        SHARD_KERNELS,
         SOLVE_KERNELS,
         TREE_KERNELS,
     )
@@ -394,6 +499,13 @@ def _families() -> list[dict]:
             "kernels": SOLVE_KERNELS,
             "payload": build_solve_payload,
             "check": check_solve_claims,
+        },
+        {
+            "name": "shard",
+            "path": SHARD_BASELINE_PATH,
+            "kernels": SHARD_KERNELS,
+            "payload": build_shard_payload,
+            "check": check_shard_claims,
         },
     ]
 

@@ -437,6 +437,41 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None,
                    help="solve kernel for cache misses: 'compiled' = "
                    "flat-array kernels (default), 'object' = original solvers")
+    p.add_argument("--shards", type=int, default=0, metavar="N",
+                   help="run a self-healing fleet of N supervised worker "
+                   "subprocesses behind a consistent-hash router "
+                   "(default 0 = single process)")
+    p.add_argument("--max-queue", type=int, default=64,
+                   help="per-worker in-flight bound before the router sheds "
+                   "load with error kind 'overloaded' (default 64)")
+    p.add_argument("--chaos-ops", action="store_true",
+                   help="accept 'inject' fault requests (chaos testing only; "
+                   "never enable in production)")
+
+    p = sub.add_parser(
+        "chaos",
+        help="chaos-test the sharded service fleet",
+        description=(
+            "Boot a real worker fleet, drive a concurrent solve workload, "
+            "and inject faults (SIGKILL, hangs, slow responses, garbled "
+            "frames) while asserting that every request gets exactly one "
+            "valid replay-checked answer or an explicit retriable error. "
+            "Exits non-zero on any invariant violation."
+        ),
+    )
+    p.add_argument("--shards", type=int, default=4,
+                   help="fleet size (default 4)")
+    p.add_argument("--duration", type=float, default=20.0, metavar="SECONDS",
+                   help="nominal run length (default 20; extends until "
+                   "--kills worker kills have landed)")
+    p.add_argument("--kills", type=int, default=30,
+                   help="minimum worker SIGKILLs to inject (default 30)")
+    p.add_argument("--kill-every", type=float, default=0.5, metavar="SECONDS",
+                   help="fault injection period (default 0.5)")
+    p.add_argument("--concurrency", type=int, default=12,
+                   help="concurrent client loops (default 12)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", metavar="PATH", help="write the report JSON")
 
     p = sub.add_parser("report", help="regenerate the headline results as "
                        "markdown, or build the HTML dashboard")
@@ -760,6 +795,54 @@ def _run(args) -> int:
     if args.command == "serve":
         import asyncio
 
+        host, port = "", ""
+        if args.tcp:
+            host, sep, port = args.tcp.rpartition(":")
+            if not sep or not port.isdigit():
+                raise SystemExit(
+                    f"--tcp needs HOST:PORT (e.g. 127.0.0.1:7000), "
+                    f"got {args.tcp!r}"
+                )
+
+        def tcp_ready(p):
+            # stderr keeps stdout clean for clients tee-ing both
+            print(f"listening on {host or '127.0.0.1'}:{p}",
+                  file=sys.stderr, flush=True)
+
+        if args.shards > 0:
+            from .service.shard import ShardRouter
+            from .service.supervisor import WorkerConfig
+
+            config = WorkerConfig(
+                threads=args.workers, capacity=args.capacity,
+                store_path=args.store, solve_engine=args.solve_engine,
+                engine=args.engine,
+                verify_rebinds=not args.no_verify_rebinds,
+                request_timeout=args.request_timeout,
+                chaos_ops=args.chaos_ops,
+            )
+            router = ShardRouter(args.shards, config,
+                                 max_queue=args.max_queue,
+                                 request_timeout=args.request_timeout)
+
+            async def fleet_main():
+                router.install_signal_handlers()
+                await router.start()
+                try:
+                    if args.tcp:
+                        await router.serve_tcp(host or "127.0.0.1",
+                                               int(port), ready=tcp_ready)
+                    else:
+                        await router.serve_stdio()
+                finally:
+                    await router.aclose()
+
+            try:
+                asyncio.run(fleet_main())
+            except KeyboardInterrupt:  # pragma: no cover - interactive stop
+                pass
+            return 0
+
         from .service import ScheduleService, SolutionStore
 
         store = SolutionStore(path=args.store, capacity=args.capacity,
@@ -768,28 +851,50 @@ def _run(args) -> int:
                                   verify_rebinds=not args.no_verify_rebinds,
                                   engine=args.engine,
                                   solve_engine=args.solve_engine,
-                                  request_timeout=args.request_timeout)
-        try:
+                                  request_timeout=args.request_timeout,
+                                  chaos_ops=args.chaos_ops)
+
+        async def solo_main():
+            service.install_signal_handlers()
             if args.tcp:
-                host, sep, port = args.tcp.rpartition(":")
-                if not sep or not port.isdigit():
-                    raise SystemExit(
-                        f"--tcp needs HOST:PORT (e.g. 127.0.0.1:7000), "
-                        f"got {args.tcp!r}"
-                    )
-                asyncio.run(service.serve_tcp(
-                    host or "127.0.0.1", int(port),
-                    # stderr keeps stdout clean for clients tee-ing both
-                    ready=lambda p: print(f"listening on {host or '127.0.0.1'}:{p}",
-                                          file=sys.stderr, flush=True),
-                ))
+                await service.serve_tcp(host or "127.0.0.1", int(port),
+                                        ready=tcp_ready)
             else:
-                asyncio.run(service.serve_stdio())
+                await service.serve_stdio()
+
+        try:
+            asyncio.run(solo_main())
         except KeyboardInterrupt:  # pragma: no cover - interactive stop
             pass
         finally:
             service.close()
         return 0
+
+    if args.command == "chaos":
+        import json as _json
+
+        from .service.chaos import chaos_run
+
+        report = chaos_run(
+            shards=args.shards, duration_s=args.duration,
+            target_kills=args.kills, kill_every=args.kill_every,
+            concurrency=args.concurrency, seed=args.seed,
+            progress=lambda msg: print(f"chaos: {msg}", file=sys.stderr,
+                                       flush=True),
+        )
+        print(_json.dumps(report, indent=2))
+        if args.out:
+            from pathlib import Path
+
+            Path(args.out).write_text(_json.dumps(report, indent=2) + "\n")
+            print(f"wrote {args.out}", file=sys.stderr)
+        if report["violations"]:
+            print(f"chaos: {report['violations']} invariant violation(s)",
+                  file=sys.stderr)
+            return EXIT_FAILURE
+        print(f"chaos: contract held over {report['kills']} kills, "
+              f"{report['requests']} requests", file=sys.stderr)
+        return EXIT_OK
 
     if args.command == "report":
         if args.html:

@@ -10,7 +10,15 @@ Turns the solver registry into a long-lived, cache-backed service:
   batch runner) and :class:`ScheduleService` (asyncio loop with request
   coalescing, behind ``repro serve``);
 * :mod:`repro.service.protocol` — the JSON-lines wire protocol and the
-  blocking :class:`ServiceClient`.
+  blocking :class:`ServiceClient`;
+* :mod:`repro.service.frontend` — the shared JSON-lines serving loop,
+  graceful shutdown and chaos fault hooks;
+* :mod:`repro.service.supervisor` — the supervised worker-subprocess
+  fleet (health checks, restart backoff, restart budget);
+* :mod:`repro.service.shard` — the consistent-hash fleet router behind
+  ``repro serve --shards N``;
+* :mod:`repro.service.chaos` — the fault-injection harness behind
+  ``repro chaos``.
 """
 
 from .canon import (
@@ -28,18 +36,25 @@ from .engine import (
     rebind_solution,
 )
 from .protocol import PROTOCOL_VERSION, ServiceClient, ServiceError
+from .shard import HashRing, ShardRouter
 from .store import SolutionStore, StoreStats
+from .supervisor import Supervisor, WorkerConfig, WorkerDied
 
 __all__ = [
     "CachedOutcome",
     "CanonError",
     "CanonicalForm",
+    "HashRing",
     "PROTOCOL_VERSION",
     "ScheduleService",
     "ServiceClient",
     "ServiceError",
+    "ShardRouter",
     "SolutionStore",
     "StoreStats",
+    "Supervisor",
+    "WorkerConfig",
+    "WorkerDied",
     "cache_key",
     "cached_solve",
     "canonical_form",

@@ -1,0 +1,244 @@
+"""Chaos harness: prove the fleet's robustness contract under injected faults.
+
+``repro chaos`` boots a real :class:`~repro.service.shard.ShardRouter`
+fleet (worker subprocesses launched with ``--chaos-ops``), drives a
+concurrent solve workload through it, and meanwhile injects faults:
+
+* **kill** — ``SIGKILL`` a random worker mid-solve (no goodbye, no flush);
+* **hang** — the worker stops answering everything, pings included,
+  until the supervisor's deadline declares it dead;
+* **slow** — responses delayed past their usual latency;
+* **garble** — the worker emits a truncated JSON line (framing says
+  "complete", the payload is cut off).
+
+The harness asserts the fleet's end-to-end invariant on every request:
+
+  every accepted request gets **exactly one** answer, and that answer is
+  either a **valid solution** (deserialises, replays cleanly through the
+  compiled validator, and matches the independently-computed reference
+  makespan for its problem) or an **explicit retriable error**
+  (``overloaded`` / ``unavailable`` / ``timeout`` / ``shutting_down``)
+  — never silence, never a corrupt payload, never a non-retriable error
+  for a well-formed request.
+
+Anything else is recorded as a *violation*; the acceptance gate
+(``BENCH_shard.json``, family ``shard``) requires zero violations over
+at least 30 worker kills.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import signal
+import time
+from typing import Any, Callable, Optional
+
+from ..io.json_io import problem_to_dict, solution_from_dict
+from ..platforms.generators import random_chain, random_spider, random_star, random_tree
+from ..solve import Problem, solve
+from .shard import RETRIABLE_KINDS, ShardRouter
+from .supervisor import WorkerConfig
+
+__all__ = ["chaos_workload", "run_chaos", "chaos_run"]
+
+#: an answer slower than this is counted as silence — far above any
+#: legitimate path (solve + one supervisor ping deadline + re-dispatch).
+SILENCE_DEADLINE = 30.0
+
+
+def chaos_workload(pool_size: int = 12, n: int = 24,
+                   seed: int = 0) -> list[tuple[Problem, float]]:
+    """A pool of problems with their independently-solved reference
+    makespans — the ground truth the invariant checker compares against."""
+    pool: list[tuple[Problem, float]] = []
+    for i in range(pool_size):
+        kind = i % 4
+        if kind == 0:
+            platform = random_spider(4, 3, seed=seed * 1000 + i)
+        elif kind == 1:
+            platform = random_chain(6, seed=seed * 1000 + i)
+        elif kind == 2:
+            platform = random_star(8, seed=seed * 1000 + i)
+        else:
+            platform = random_tree(7, seed=seed * 1000 + i)
+        problem = Problem(platform, "makespan", n=n)
+        pool.append((problem, solve(problem).makespan))
+    return pool
+
+
+async def run_chaos(
+    shards: int = 4,
+    duration_s: float = 20.0,
+    *,
+    target_kills: int = 30,
+    kill_every: float = 0.5,
+    concurrency: int = 12,
+    pool_size: int = 12,
+    n: int = 24,
+    seed: int = 0,
+    max_queue: int = 64,
+    faults: tuple[str, ...] = ("kill", "kill", "hang", "slow", "garble"),
+    store_path: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict[str, Any]:
+    """Run the chaos experiment; returns the report (see module docstring).
+
+    The run lasts until *both* ``duration_s`` elapsed and ``target_kills``
+    workers were killed.  ``faults`` is the injection mix drawn from
+    uniformly (repeating ``"kill"`` weights it up).  ``report["violations"]``
+    must be 0 for the robustness contract to hold; the first few offending
+    responses ride along in ``report["violation_samples"]``.
+    """
+    rng = random.Random(seed)
+    say = progress if progress is not None else (lambda _msg: None)
+    pool = chaos_workload(pool_size=pool_size, n=n, seed=seed)
+    say(f"workload: {len(pool)} problems, reference makespans solved")
+
+    config = WorkerConfig(threads=2, capacity=max(64, 4 * pool_size),
+                          store_path=store_path, chaos_ops=True)
+    router = ShardRouter(shards, config, max_queue=max_queue,
+                         request_timeout=10.0)
+    await router.start()
+    say(f"fleet up: {len(router.live)}/{shards} shards live")
+
+    stop = asyncio.Event()
+    counts = {"requests": 0, "ok": 0, "retriable": 0,
+              "kills": 0, "hangs": 0, "slows": 0, "garbles": 0}
+    violations: list[dict[str, Any]] = []
+    next_rid = 0
+
+    def violated(kind: str, detail: str, response: dict[str, Any]) -> None:
+        if len(violations) < 8:
+            violations.append({"kind": kind, "detail": detail,
+                               "error_kind": response.get("error_kind")})
+
+    async def one_request() -> bool:
+        nonlocal next_rid
+        problem, reference = pool[rng.randrange(len(pool))]
+        next_rid += 1
+        line = json.dumps({"id": f"x{next_rid}", "op": "solve",
+                           "problem": problem_to_dict(problem)})
+        counts["requests"] += 1
+        try:
+            response = await asyncio.wait_for(
+                router.handle_line(line), SILENCE_DEADLINE
+            )
+        except asyncio.TimeoutError:
+            violated("silence", f"no answer within {SILENCE_DEADLINE}s", {})
+            return False
+        if response.get("ok"):
+            try:
+                solution = solution_from_dict(response["solution"])
+                solution.validate()
+            except Exception as exc:  # noqa: BLE001 - any replay failure is a violation
+                violated("corrupt", f"answer does not replay: {exc}", response)
+                return False
+            if solution.makespan != reference:
+                violated(
+                    "wrong_answer",
+                    f"makespan {solution.makespan} != reference {reference}",
+                    response,
+                )
+                return False
+            counts["ok"] += 1
+            return True
+        if response.get("error_kind") in RETRIABLE_KINDS:
+            counts["retriable"] += 1
+            return False
+        violated("hard_error",
+                 str(response.get("error", "non-retriable error")),
+                 response)
+        return False
+
+    async def client_loop() -> None:
+        while not stop.is_set():
+            if not await one_request():
+                # a well-behaved client backs off on a retriable error
+                # instead of hammering a recovering fleet
+                await asyncio.sleep(rng.uniform(0.01, 0.05))
+
+    async def inject(fault: str) -> None:
+        live = sorted(router.live)
+        if not live:
+            return
+        shard_id = rng.choice(live)
+        if fault == "kill":
+            worker = router.supervisor.worker(shard_id)
+            if worker is None or worker.pid is None:
+                return
+            try:
+                os.kill(worker.pid, signal.SIGKILL)
+            except ProcessLookupError:
+                return
+            counts["kills"] += 1
+            return
+        request: dict[str, Any] = {"op": "inject", "shard": shard_id,
+                                   "fault": fault}
+        if fault == "slow":
+            request.update(seconds=0.2, count=4)
+        elif fault == "garble":
+            request["count"] = 2
+        response = await router.handle_line(json.dumps(request))
+        if response.get("ok"):
+            counts[fault + "s"] += 1
+
+    async def injector_loop() -> None:
+        started = time.monotonic()
+        while not stop.is_set():
+            await asyncio.sleep(kill_every)
+            elapsed = time.monotonic() - started
+            if elapsed >= duration_s and counts["kills"] >= target_kills:
+                stop.set()
+                return
+            # past the nominal window, force kills until the quota is met
+            fault = ("kill" if elapsed >= duration_s
+                     else faults[rng.randrange(len(faults))])
+            await inject(fault)
+            if counts["kills"] and counts["kills"] % 10 == 0:
+                say(f"{counts['kills']} kills, "
+                    f"{counts['requests']} requests, "
+                    f"{len(violations)} violations")
+
+    t0 = time.monotonic()
+    clients = [asyncio.ensure_future(client_loop())
+               for _ in range(concurrency)]
+    injector = asyncio.ensure_future(injector_loop())
+    try:
+        await injector
+        await asyncio.gather(*clients)
+    finally:
+        stop.set()
+        for task in clients:
+            task.cancel()
+        await asyncio.gather(*clients, return_exceptions=True)
+        fleet = router.supervisor.stats()
+        await router.aclose()
+    elapsed = time.monotonic() - t0
+
+    return {
+        "shards": shards,
+        "elapsed_s": round(elapsed, 3),
+        "requests": counts["requests"],
+        "ok_answers": counts["ok"],
+        "retriable_errors": counts["retriable"],
+        "kills": counts["kills"],
+        "hangs": counts["hangs"],
+        "slows": counts["slows"],
+        "garbles": counts["garbles"],
+        "redispatched": router.redispatched,
+        "shed": router.shed,
+        "unavailable": router.unavailable,
+        "timeouts": router.timeouts,
+        "restarts": fleet["restarts"],
+        "garbled_frames": fleet["garbled_frames"],
+        "violations": len(violations),
+        "violation_samples": violations,
+    }
+
+
+def chaos_run(**kwargs: Any) -> dict[str, Any]:
+    """Synchronous wrapper around :func:`run_chaos` (CLI / benchmarks)."""
+    return asyncio.run(run_chaos(**kwargs))

@@ -44,6 +44,7 @@ from ..obs import metrics as _obs
 from ..obs import tracing as _trace
 from ..solve import Problem, Solution, solve
 from .canon import CanonError, CanonicalForm, canonical_form, problem_fingerprint
+from .frontend import LINE_LIMIT, ChaosState, JsonLinesFrontend
 from .store import SolutionStore
 
 __all__ = [
@@ -59,10 +60,6 @@ __all__ = [
 
 class ServiceClosingError(RuntimeError):
     """The service is draining for shutdown and takes no new work."""
-
-#: max bytes of one protocol line (asyncio's 64 KiB default chokes on big
-#: platforms — a large tree's solve request is one long JSON line).
-LINE_LIMIT = 16 * 2**20
 
 
 @dataclass(frozen=True)
@@ -210,7 +207,7 @@ def cached_solve(
     )
 
 
-class ScheduleService:
+class ScheduleService(JsonLinesFrontend):
     """Asyncio scheduling service over a :class:`SolutionStore`.
 
     ``workers`` bounds the thread pool the CPU-bound work — solves *and*
@@ -220,6 +217,11 @@ class ScheduleService:
     coalesced:
     the first request solves, the rest await its future and rebind the
     shared canonical solution onto their own platforms.
+
+    The JSON-lines serving loops (stdio/TCP, graceful drain on
+    SIGTERM/``op:"shutdown"``) come from :class:`JsonLinesFrontend`;
+    ``chaos_ops=True`` arms the fault-injection op the chaos harness
+    uses (never the default — a production worker cannot be chaos'd).
     """
 
     def __init__(
@@ -230,6 +232,7 @@ class ScheduleService:
         engine: Optional[str] = None,
         request_timeout: Optional[float] = None,
         solve_engine: Optional[str] = None,
+        chaos_ops: bool = False,
     ) -> None:
         from ..sim.replay_fast import resolve_engine
         from ..solve import resolve_solve_engine
@@ -261,6 +264,7 @@ class ScheduleService:
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve"
         )
+        self.chaos = ChaosState() if chaos_ops else None
         self._inflight: dict[str, asyncio.Future] = {}
         self._closing = False
         self.requests = 0
@@ -439,107 +443,3 @@ class ScheduleService:
         self._closing = True
         self._pool.shutdown(wait=True)
         self.store.close()
-
-    # -- serving loops (JSON-lines protocol) --------------------------------
-
-    async def handle_connection(self, readline, send) -> None:
-        """Drive one JSON-lines connection: ``readline`` is an async
-        zero-arg callable yielding one line (empty at EOF), ``send`` an
-        *async* callable taking one response dict (awaited per response, so
-        transport backpressure applies).  Requests are answered
-        concurrently (a pipelined client is what coalescing exists for);
-        responses carry the request ``id`` so order does not matter.
-
-        ``op:"shutdown"`` lets in-flight answers finish, acks, and ends
-        the connection (over stdio that ends the serving process)."""
-        import json as _json
-        import sys
-
-        from .protocol import handle_request  # local import: protocol uses engine
-
-        pending: set[asyncio.Task] = set()
-
-        async def deliver(response: dict) -> None:
-            try:
-                await send(response)
-            except Exception as exc:  # noqa: BLE001 - client went away mid-send
-                print(f"repro serve: dropped response for dead client: {exc}",
-                      file=sys.stderr)
-
-        async def respond(raw_line: str) -> None:
-            await deliver(await handle_request(self, raw_line))
-
-        while True:
-            try:
-                line = await readline()
-            except ValueError as exc:
-                # a request line past the reader's limit: framing is lost,
-                # so answer what we can and drop the connection cleanly
-                await deliver({"id": None, "ok": False,
-                               "error": f"request line too long: {exc}",
-                               "error_kind": "bad_request"})
-                break
-            if not line:
-                break
-            text = line.decode() if isinstance(line, bytes) else line
-            if not text.strip():
-                continue
-            if '"shutdown"' in text:
-                try:
-                    request = _json.loads(text)
-                except ValueError:
-                    request = None
-                if isinstance(request, dict) and request.get("op") == "shutdown":
-                    if pending:
-                        await asyncio.gather(*pending)
-                    await deliver({"id": request.get("id"), "ok": True,
-                                   "shutdown": True})
-                    break
-            # respond() never raises (deliver swallows transport errors),
-            # so a discarded done task cannot hide an unretrieved exception
-            task = asyncio.ensure_future(respond(text))
-            pending.add(task)
-            task.add_done_callback(pending.discard)
-        if pending:
-            await asyncio.gather(*pending)
-
-    async def serve_stdio(self) -> None:
-        """Serve the protocol on stdin/stdout (the ``repro serve`` default)."""
-        import json as _json
-        import sys
-
-        loop = asyncio.get_running_loop()
-        reader = asyncio.StreamReader(limit=LINE_LIMIT)
-        await loop.connect_read_pipe(
-            lambda: asyncio.StreamReaderProtocol(reader), sys.stdin
-        )
-
-        async def send(response: dict) -> None:
-            sys.stdout.write(_json.dumps(response) + "\n")
-            sys.stdout.flush()
-
-        await self.handle_connection(reader.readline, send)
-
-    async def serve_tcp(
-        self, host: str = "127.0.0.1", port: int = 0, ready=None
-    ) -> None:
-        """Serve the protocol over TCP; ``ready(actual_port)`` fires once
-        listening (``port=0`` binds an ephemeral port).  ``op:"shutdown"``
-        closes its own connection; the server keeps listening."""
-        import json as _json
-
-        async def client(reader: asyncio.StreamReader,
-                         writer: asyncio.StreamWriter) -> None:
-            async def send(response: dict) -> None:
-                writer.write((_json.dumps(response) + "\n").encode())
-                await writer.drain()  # per-response backpressure
-            try:
-                await self.handle_connection(reader.readline, send)
-            finally:
-                writer.close()
-
-        server = await asyncio.start_server(client, host, port, limit=LINE_LIMIT)
-        if ready is not None:
-            ready(server.sockets[0].getsockname()[1])
-        async with server:
-            await server.serve_forever()

@@ -1,0 +1,285 @@
+"""The JSON-lines serving loop, shared by every service front-end.
+
+:class:`JsonLinesFrontend` is the transport half of a service: it drives
+one JSON-lines connection (stdio or TCP), answers requests concurrently,
+and owns the **graceful-shutdown contract** — a ``SIGTERM``/``SIGINT``
+(or an ``op:"shutdown"`` request) stops the read loop, lets every
+in-flight response finish and flush, and returns cleanly so the process
+can exit 0 instead of dying mid-response.
+
+Two subclasses serve through it:
+
+* :class:`repro.service.engine.ScheduleService` — one process, one store
+  (``repro serve``);
+* :class:`repro.service.shard.ShardRouter` — the fleet front-end that
+  consistent-hashes requests across supervised worker processes
+  (``repro serve --shards N``).
+
+The mixin calls :meth:`handle_line` for each request line; the default
+delegates to :func:`repro.service.protocol.handle_request`, the router
+overrides it with forwarding logic.
+
+**Chaos hooks** (:class:`ChaosState`): a worker launched with
+``--chaos-ops`` accepts ``op:"inject"`` requests that make it misbehave
+on purpose — answer slowly, stop answering entirely (hang), or emit a
+truncated JSON line (garble).  The hooks live here because they model
+*transport-level* failure: the chaos harness uses them to prove the
+fleet never turns a worker's garbage into a client's answer.  Without
+``--chaos-ops`` the op does not exist.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+import sys
+from typing import Any, Optional
+
+__all__ = ["ChaosState", "JsonLinesFrontend", "LINE_LIMIT"]
+
+#: max bytes of one protocol line (asyncio's 64 KiB default chokes on big
+#: platforms — a large tree's solve request is one long JSON line).
+LINE_LIMIT = 16 * 2**20
+
+
+class ChaosState:
+    """Injected-fault state of one chaos-enabled worker (``--chaos-ops``).
+
+    Faults arm via ``{"op": "inject", "fault": ..., ...}``:
+
+    * ``slow`` — delay the next ``count`` responses by ``seconds`` each;
+    * ``hang`` — stop answering *everything* (health pings included)
+      until the supervisor's deadline declares the worker dead;
+    * ``garble`` — truncate the next ``count`` response lines mid-JSON
+      (framing says "complete line", the payload is cut off).
+    """
+
+    __slots__ = ("slow_s", "slow_left", "garble_left", "hung")
+
+    def __init__(self) -> None:
+        self.slow_s = 0.0
+        self.slow_left = 0
+        self.garble_left = 0
+        self.hung = False
+
+    def inject(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Arm one fault from an ``inject`` request; returns the response."""
+        rid = request.get("id")
+        fault = request.get("fault")
+        count = int(request.get("count", 1))
+        if fault == "slow":
+            self.slow_s = float(request.get("seconds", 0.25))
+            self.slow_left = count
+        elif fault == "hang":
+            self.hung = True
+        elif fault == "garble":
+            self.garble_left = count
+        else:
+            return {"id": rid, "ok": False,
+                    "error": f"unknown fault {fault!r}",
+                    "error_kind": "bad_request"}
+        return {"id": rid, "ok": True, "fault": fault, "count": count}
+
+    async def gate(self) -> None:
+        """Awaited before serving any non-inject op: a hung worker never
+        answers again (its supervisor will kill it); a slowed worker
+        sleeps off the armed delay first."""
+        if self.hung:
+            await asyncio.Event().wait()  # never set: silence, on purpose
+        if self.slow_left > 0:
+            self.slow_left -= 1
+            await asyncio.sleep(self.slow_s)
+
+    def mangle(self, text: str) -> str:
+        """Corrupt an outgoing response line while a garble is armed."""
+        if self.garble_left > 0:
+            self.garble_left -= 1
+            return text[: max(1, len(text) // 2)]
+        return text
+
+
+class JsonLinesFrontend:
+    """Serving-loop mixin (see module docstring).  Subclasses provide
+    :meth:`handle_line` semantics (default: the protocol module's
+    ``handle_request``) and, optionally, ``begin_shutdown()``."""
+
+    #: armed only on chaos-enabled workers; ``None`` means the inject op
+    #: does not exist and responses are never touched.
+    chaos: Optional[ChaosState] = None
+
+    # -- shutdown signalling -------------------------------------------------
+
+    def _stop_event(self) -> asyncio.Event:
+        ev = getattr(self, "_stop_ev", None)
+        if ev is None:
+            ev = self._stop_ev = asyncio.Event()
+        return ev
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain: refuse new work, stop the read loops,
+        let in-flight responses flush.  Safe to call from a signal
+        handler on the event loop."""
+        begin = getattr(self, "begin_shutdown", None)
+        if begin is not None:
+            begin()
+        ev = getattr(self, "_stop_ev", None)
+        if ev is not None:
+            ev.set()
+
+    def install_signal_handlers(self) -> None:
+        """Route ``SIGTERM``/``SIGINT`` into :meth:`request_shutdown` so
+        ``repro serve`` drains and exits 0 instead of dying mid-response.
+        Must run inside the serving event loop."""
+        loop = asyncio.get_running_loop()
+        self._stop_event()  # materialise before any signal can fire
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.request_shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-Unix loop: fall back to KeyboardInterrupt
+
+    # -- per-line dispatch ---------------------------------------------------
+
+    async def handle_line(self, raw_line: str) -> dict[str, Any]:
+        """Serve one raw request line; the default is the single-process
+        protocol path (decode → op dispatch → encode)."""
+        from .protocol import handle_request  # local import: protocol uses engine
+
+        return await handle_request(self, raw_line)
+
+    # -- serving loops (JSON-lines protocol) --------------------------------
+
+    async def handle_connection(self, readline, send) -> None:
+        """Drive one JSON-lines connection: ``readline`` is an async
+        zero-arg callable yielding one line (empty at EOF), ``send`` an
+        *async* callable taking one response **string** (awaited per
+        response, so transport backpressure applies).  Requests are
+        answered concurrently (a pipelined client is what coalescing
+        exists for); responses carry the request ``id`` so order does
+        not matter.
+
+        ``op:"shutdown"`` lets in-flight answers finish, acks, and ends
+        the connection (over stdio that ends the serving process); a
+        :meth:`request_shutdown` (SIGTERM/SIGINT) does the same for
+        every live connection at once."""
+        pending: set[asyncio.Task] = set()
+        stop = self._stop_event()
+
+        async def deliver(response: dict) -> None:
+            text = json.dumps(response)
+            if self.chaos is not None:
+                text = self.chaos.mangle(text)
+            try:
+                await send(text)
+            except Exception as exc:  # noqa: BLE001 - client went away mid-send
+                print(f"repro serve: dropped response for dead client: {exc}",
+                      file=sys.stderr)
+
+        async def respond(raw_line: str) -> None:
+            await deliver(await self.handle_line(raw_line))
+
+        read_task: Optional[asyncio.Task] = None
+        while not stop.is_set():
+            if read_task is None:
+                read_task = asyncio.ensure_future(readline())
+            stop_task = asyncio.ensure_future(stop.wait())
+            await asyncio.wait({read_task, stop_task},
+                               return_when=asyncio.FIRST_COMPLETED)
+            stop_task.cancel()
+            if not read_task.done():
+                break  # shutdown signalled mid-read: drain and leave
+            try:
+                line = read_task.result()
+            except ValueError as exc:
+                # a request line past the reader's limit: framing is lost,
+                # so answer what we can and drop the connection cleanly
+                await deliver({"id": None, "ok": False,
+                               "error": f"request line too long: {exc}",
+                               "error_kind": "bad_request"})
+                read_task = None
+                break
+            read_task = None
+            if not line:
+                break
+            text = line.decode() if isinstance(line, bytes) else line
+            if not text.strip():
+                continue
+            if '"shutdown"' in text:
+                try:
+                    request = json.loads(text)
+                except ValueError:
+                    request = None
+                if isinstance(request, dict) and request.get("op") == "shutdown":
+                    if pending:
+                        await asyncio.gather(*pending)
+                    await deliver({"id": request.get("id"), "ok": True,
+                                   "shutdown": True})
+                    break
+            # respond() never raises (deliver swallows transport errors),
+            # so a discarded done task cannot hide an unretrieved exception
+            task = asyncio.ensure_future(respond(text))
+            pending.add(task)
+            task.add_done_callback(pending.discard)
+        if read_task is not None and not read_task.done():
+            read_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError, ValueError):
+                await read_task
+        if pending:  # flush every in-flight response before returning
+            await asyncio.gather(*pending)
+
+    async def serve_stdio(self) -> None:
+        """Serve the protocol on stdin/stdout (the ``repro serve`` default)."""
+        loop = asyncio.get_running_loop()
+        reader = asyncio.StreamReader(limit=LINE_LIMIT)
+        await loop.connect_read_pipe(
+            lambda: asyncio.StreamReaderProtocol(reader), sys.stdin
+        )
+
+        async def send(text: str) -> None:
+            sys.stdout.write(text + "\n")
+            sys.stdout.flush()
+
+        await self.handle_connection(reader.readline, send)
+
+    async def serve_tcp(
+        self, host: str = "127.0.0.1", port: int = 0, ready=None
+    ) -> None:
+        """Serve the protocol over TCP; ``ready(actual_port)`` fires once
+        listening (``port=0`` binds an ephemeral port).  ``op:"shutdown"``
+        closes its own connection and the server keeps listening; a
+        :meth:`request_shutdown` stops listening, drains every live
+        connection, and returns."""
+        conns: set[asyncio.Task] = set()
+
+        async def client(reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+            task = asyncio.current_task()
+            if task is not None:
+                conns.add(task)
+            async def send(text: str) -> None:
+                writer.write((text + "\n").encode())
+                await writer.drain()  # per-response backpressure
+            try:
+                await self.handle_connection(reader.readline, send)
+            finally:
+                if task is not None:
+                    conns.discard(task)
+                writer.close()
+
+        server = await asyncio.start_server(client, host, port, limit=LINE_LIMIT)
+        if ready is not None:
+            ready(server.sockets[0].getsockname()[1])
+        stop = self._stop_event()
+        async with server:
+            serve_task = asyncio.ensure_future(server.serve_forever())
+            stop_task = asyncio.ensure_future(stop.wait())
+            await asyncio.wait({serve_task, stop_task},
+                               return_when=asyncio.FIRST_COMPLETED)
+            stop_task.cancel()
+            serve_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await serve_task
+            if conns:  # every live connection drains its own in-flight work
+                await asyncio.gather(*conns, return_exceptions=True)

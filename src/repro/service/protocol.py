@@ -29,7 +29,11 @@ holding the connection.
 Errors come back as ``{"ok": false, "error": "…", "error_kind": k}`` with
 ``k`` ∈ ``no_solver`` / ``infeasible`` / ``validation`` / ``bad_request`` /
 ``timeout`` / ``shutting_down`` / ``error`` — the same taxonomy the CLI
-maps to exit codes.
+maps to exit codes.  The sharded fleet adds two *retriable* kinds:
+``overloaded`` (the owning shard's queue is full — the fleet sheds load
+instead of piling it up) and ``unavailable`` (no live shard right now);
+both carry ``"retriable": true`` so callers can tell backpressure from a
+permanent refusal.
 
 :class:`ServiceClient` is the synchronous counterpart used by tests and
 the CI smoke job: it spawns ``repro serve`` as a subprocess (stdio
@@ -88,6 +92,10 @@ class ServiceTimeout(ServiceError):
 #: client-side error kinds worth retrying on an idempotent op: the request
 #: may or may not have been served, but re-asking cannot corrupt anything.
 _RETRYABLE_KINDS = frozenset({"timeout", "connection"})
+#: *response* kinds a healthy server emits when it cannot take the work
+#: right now (fleet load-shedding / no live shard) — retried with backoff
+#: on the same connection; the transport itself is fine.
+_RETRYABLE_RESPONSE_KINDS = frozenset({"overloaded", "unavailable"})
 #: ops safe to re-send — asking twice computes (at most) twice but answers
 #: identically; ``shutdown`` is excluded (the first one may have landed).
 _IDEMPOTENT_OPS = frozenset({"solve", "stats", "ping"})
@@ -135,6 +143,12 @@ async def handle_request(service: Any, raw_line: str) -> dict[str, Any]:
         return {"id": None, "ok": False, "error": f"malformed request: {exc}",
                 "error_kind": "bad_request"}
     op = request.get("op", "solve")
+    chaos = getattr(service, "chaos", None)
+    if chaos is not None and op != "inject":
+        # a chaos-armed worker misbehaves *here*: hangs never answer
+        # (the supervisor's ping deadline is the way out), slows sleep
+        # before serving — health pings included, as a real stall would
+        await chaos.gate()
     with _trace.span("service.request", op=op):
         response = await _serve_op(service, request, op)
     _observe_op(service, op, t0)
@@ -149,7 +163,16 @@ async def _serve_op(
         return {"id": rid, "ok": True, "pong": True,
                 "protocol": PROTOCOL_VERSION}
     if op == "stats":
-        return {"id": rid, "ok": True, "stats": service.stats()}
+        response = {"id": rid, "ok": True, "stats": service.stats()}
+        registry = getattr(service, "metrics", None)
+        if request.get("snapshot") and isinstance(registry, _obs.MetricsRegistry):
+            # raw mergeable snapshot (fixed-edge histograms + counters) —
+            # the shard router folds these into fleet-wide percentiles
+            response["snapshot"] = registry.snapshot()
+        return response
+    chaos = getattr(service, "chaos", None)
+    if op == "inject" and chaos is not None:
+        return chaos.inject(request)
     if op != "solve":
         return {"id": rid, "ok": False, "error": f"unknown op {op!r}",
                 "error_kind": "bad_request"}
@@ -216,6 +239,7 @@ class ServiceClient:
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        self._rng = random.Random()  # per-instance: fresh jitter per attempt
         self._buf = b""
         self._respawn: Optional[tuple] = None  # spawn() args, for reconnects
         self._addr: Optional[tuple] = None  # (host, port), for reconnects
@@ -382,25 +406,48 @@ class ServiceClient:
         op = payload.get("op", "solve")
         attempts = 1 + (retries if op in _IDEMPOTENT_OPS else 0)
         failure: Optional[ServiceError] = None
+        shed_response: Optional[dict[str, Any]] = None
+        reconnect = False
         for attempt in range(attempts):
             if attempt:
+                # fresh full jitter every attempt — a herd of retrying
+                # clients must decorrelate on *each* round, not share one
+                # sleep drawn at the first failure
                 delay = self.backoff * (2 ** (attempt - 1))
-                time.sleep(delay * random.random())  # full jitter
-                try:
-                    self._reconnect()
-                except ServiceError as exc:
-                    failure = exc
-                    break  # no reconnect recipe: retrying cannot help
+                time.sleep(self._rng.uniform(0.0, delay))
+                if reconnect:
+                    try:
+                        self._reconnect()
+                    except ServiceError as exc:
+                        # no reconnect recipe / redial failed: surface this
+                        # *last* failure, with the transport error that
+                        # forced the reconnect chained underneath
+                        raise exc from failure
             self._next_id += 1
             message = {"id": f"c{self._next_id}", **payload}
             try:
-                return self._request_once(message, timeout)
+                response = self._request_once(message, timeout)
             except ServiceError as exc:
                 if exc.kind not in _RETRYABLE_KINDS:
                     raise
-                failure = exc
-        assert failure is not None
-        raise failure
+                # after a stall or drop the old stream's framing cannot be
+                # trusted; the next attempt starts from a fresh transport
+                failure, reconnect = exc, True
+                continue
+            if (
+                response.get("error_kind") in _RETRYABLE_RESPONSE_KINDS
+                and op in _IDEMPOTENT_OPS
+            ):
+                # the server answered "not now" (fleet shedding load /
+                # momentarily shard-less): back off and re-ask on the
+                # same, perfectly healthy connection
+                shed_response, reconnect = response, False
+                continue
+            return response
+        if failure is not None and (reconnect or shed_response is None):
+            raise failure  # the *last* transport failure, most recent first
+        assert shed_response is not None
+        return shed_response
 
     def solve(self, problem: Problem) -> tuple[Solution, dict[str, Any]]:
         """Solve ``problem`` remotely; returns ``(solution, meta)`` where

@@ -27,6 +27,12 @@ condition ever raises through the serving loop (``corrupt_rows`` /
 All operations are thread-safe (one lock; the SQLite connection is shared
 across threads) and counted: hits per tier, misses, writes, memory
 evictions and validation rejections are exposed via :meth:`SolutionStore.stats`.
+
+The SQLite tier opens in **WAL mode** with a ``busy_timeout``: a worker
+process SIGKILLed mid-``put`` leaves at worst an uncommitted WAL tail,
+which the next opener discards on first access — never a hot rollback
+journal that stalls the replacement worker (the sharded fleet's
+supervisor restarts workers onto the same store file).
 """
 
 from __future__ import annotations
@@ -131,6 +137,19 @@ class SolutionStore:
             self._db = sqlite3.connect(
                 str(self.path), check_same_thread=False, timeout=30.0
             )
+            try:
+                # WAL survives a SIGKILLed writer without leaving a hot
+                # rollback journal behind: a replacement worker opening the
+                # same file recovers the log on first read instead of
+                # stalling on (or replaying) a stale journal.  busy_timeout
+                # backs the same promise at the statement level when two
+                # fleet workers ever share one file.  ":memory:" databases
+                # simply report "memory" here — harmless.
+                self._db.execute("PRAGMA journal_mode=WAL")
+                self._db.execute("PRAGMA busy_timeout=30000")
+                self._db.execute("PRAGMA synchronous=NORMAL")
+            except sqlite3.Error:
+                self.stats.record("sqlite_errors")
             with self._db:
                 self._db.execute(
                     "CREATE TABLE IF NOT EXISTS solutions ("

@@ -1,0 +1,459 @@
+"""Supervised worker fleet: spawn, health-check, restart, drain.
+
+One :class:`WorkerProcess` wraps a ``repro serve`` subprocess speaking
+the JSON-lines protocol over its stdio pipes.  The wrapper multiplexes
+concurrent requests onto the pipe (response ids route answers back to
+their futures) and turns every way a worker can betray the router into
+one exception — :class:`WorkerDied`:
+
+* process exit / stdout EOF — every pending request fails immediately;
+* a **garbled frame** (a stdout line that is not a JSON object) — the
+  pipe's framing can no longer be trusted, so the worker is killed on
+  the spot rather than risk attributing a late answer to the wrong
+  request; nothing corrupt ever crosses the router.
+
+The :class:`Supervisor` owns one slot per shard and runs a lifecycle
+loop per slot: spawn → wait ready (ping) → health-check loop (ping with
+deadline every ``ping_interval``) → on death, kill + restart with
+exponential backoff.  Restarts draw on a sliding-window **budget**: a
+shard that keeps dying (crash loop) is marked *failed* and permanently
+removed from the ring instead of burning CPU forever.  ``on_up`` /
+``on_down`` callbacks keep the router's live-shard view current, so
+requests fail over the instant a worker is declared dead — not at the
+next hash-ring rebuild.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import signal
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..core.types import ReproError
+from .frontend import LINE_LIMIT
+
+__all__ = ["Supervisor", "WorkerConfig", "WorkerDied", "WorkerProcess"]
+
+
+class WorkerDied(ReproError):
+    """The worker cannot answer this request (exited, EOF, garbled frame,
+    or it was already marked dead).  Always retriable on another shard —
+    solve requests are idempotent."""
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """How to launch one fleet worker (``repro serve`` over stdio)."""
+
+    #: per-worker solver thread-pool size (the existing ``--workers``).
+    threads: int = 2
+    capacity: int = 256
+    #: base SQLite path; worker ``i`` gets ``<store_path>.shard<i>`` so
+    #: every shard owns its own SQLite tier (``None`` = memory-only).
+    store_path: Optional[str] = None
+    solve_engine: Optional[str] = None
+    engine: Optional[str] = None
+    verify_rebinds: bool = True
+    request_timeout: Optional[float] = None
+    #: arm the fault-injection op in the workers (chaos harness only).
+    chaos_ops: bool = False
+
+    def argv(self, shard_id: int) -> list[str]:
+        cmd = [sys.executable, "-m", "repro", "serve",
+               "--workers", str(self.threads),
+               "--capacity", str(self.capacity)]
+        if self.store_path is not None:
+            cmd += ["--store", f"{self.store_path}.shard{shard_id}"]
+        if self.solve_engine is not None:
+            cmd += ["--solve-engine", self.solve_engine]
+        if self.engine is not None:
+            cmd += ["--engine", self.engine]
+        if not self.verify_rebinds:
+            cmd += ["--no-verify-rebinds"]
+        if self.request_timeout is not None:
+            cmd += ["--request-timeout", str(self.request_timeout)]
+        if self.chaos_ops:
+            cmd += ["--chaos-ops"]
+        return cmd
+
+    @staticmethod
+    def env() -> dict[str, str]:
+        """Child environment with this ``repro`` importable — the fleet
+        must work from a source checkout, not only an installed package."""
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        paths = env.get("PYTHONPATH", "")
+        if src_root not in paths.split(os.pathsep):
+            env["PYTHONPATH"] = (
+                f"{src_root}{os.pathsep}{paths}" if paths else src_root
+            )
+        return env
+
+
+class WorkerProcess:
+    """One live worker subprocess plus the request multiplexer over its
+    stdio pipes (see module docstring)."""
+
+    def __init__(self, shard_id: int, config: WorkerConfig) -> None:
+        self.shard_id = shard_id
+        self.config = config
+        self.proc: Optional[asyncio.subprocess.Process] = None
+        self.exited = asyncio.Event()
+        self.garbled_frames = 0
+        self._pending: dict[str, asyncio.Future] = {}
+        self._reader_task: Optional[asyncio.Task] = None
+        self._next_id = 0
+        self._dead = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self.proc = await asyncio.create_subprocess_exec(
+            *self.config.argv(self.shard_id),
+            stdin=asyncio.subprocess.PIPE,
+            stdout=asyncio.subprocess.PIPE,
+            stderr=asyncio.subprocess.DEVNULL,
+            limit=LINE_LIMIT,
+            env=self.config.env(),
+        )
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.proc.pid if self.proc is not None else None
+
+    @property
+    def alive(self) -> bool:
+        return (not self._dead and self.proc is not None
+                and self.proc.returncode is None)
+
+    @property
+    def inflight(self) -> int:
+        return len(self._pending)
+
+    def kill(self) -> None:
+        """SIGKILL the worker (idempotent; pending requests fail via the
+        reader's EOF)."""
+        self._dead = True
+        if self.proc is not None and self.proc.returncode is None:
+            with contextlib.suppress(ProcessLookupError):
+                self.proc.kill()
+
+    async def wait(self) -> None:
+        if self.proc is not None:
+            await self.proc.wait()
+        if self._reader_task is not None:
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._reader_task
+
+    async def terminate(self, grace: float = 5.0) -> None:
+        """Graceful stop: ``op:"shutdown"`` (drains the worker), escalate
+        to SIGTERM then SIGKILL if it does not exit within ``grace``."""
+        if self.proc is None:
+            return
+        if self.alive:
+            with contextlib.suppress(Exception):
+                await asyncio.wait_for(
+                    self.request({"op": "shutdown"}), timeout=grace
+                )
+        self._dead = True
+        if self.proc.returncode is None:
+            with contextlib.suppress(ProcessLookupError):
+                self.proc.send_signal(signal.SIGTERM)
+            try:
+                await asyncio.wait_for(self.proc.wait(), timeout=grace)
+            except asyncio.TimeoutError:
+                self.kill()
+        await self.wait()
+
+    # -- request multiplexing ------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        assert self.proc is not None and self.proc.stdout is not None
+        reason = "worker closed its pipe"
+        try:
+            while True:
+                line = await self.proc.stdout.readline()
+                if not line:
+                    break
+                try:
+                    response = json.loads(line)
+                    if not isinstance(response, dict):
+                        raise ValueError("response is not an object")
+                except ValueError:
+                    # one bad frame poisons the whole stream: a later
+                    # "valid" line might be the tail of this one.  Kill
+                    # the worker; the supervisor restarts it clean.
+                    self.garbled_frames += 1
+                    reason = "worker emitted a garbled frame"
+                    break
+                fut = self._pending.pop(response.get("id"), None)
+                if fut is not None and not fut.done():
+                    fut.set_result(response)
+        finally:
+            self._dead = True
+            self.kill()
+            self._fail_pending(WorkerDied(
+                f"shard {self.shard_id}: {reason}"
+            ))
+            self.exited.set()
+
+    def _fail_pending(self, exc: WorkerDied) -> None:
+        pending, self._pending = self._pending, {}
+        for fut in pending.values():
+            if not fut.done():
+                fut.set_exception(exc)
+                # a cancelled awaiter never retrieves the exception; the
+                # death is deliberate, so silence the destructor warning
+                fut.exception()
+
+    async def request(
+        self, payload: dict[str, Any], timeout: Optional[float] = None
+    ) -> dict[str, Any]:
+        """Send one request to the worker, await its response (concurrent
+        calls multiplex by id).  Raises :class:`WorkerDied` when the
+        worker cannot answer, :class:`asyncio.TimeoutError` on deadline
+        (the entry is reaped so a late answer is dropped, not misrouted
+        — the id is never reused)."""
+        if not self.alive or self.proc is None or self.proc.stdin is None:
+            raise WorkerDied(f"shard {self.shard_id}: worker is down")
+        self._next_id += 1
+        wid = f"w{self._next_id}"
+        loop = asyncio.get_running_loop()
+        fut: asyncio.Future = loop.create_future()
+        self._pending[wid] = fut
+        try:
+            self.proc.stdin.write(
+                (json.dumps({**payload, "id": wid}) + "\n").encode()
+            )
+            await self.proc.stdin.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            self._pending.pop(wid, None)
+            raise WorkerDied(
+                f"shard {self.shard_id}: stdin write failed ({exc})"
+            ) from exc
+        try:
+            if timeout is not None:
+                return await asyncio.wait_for(fut, timeout)
+            return await fut
+        finally:
+            self._pending.pop(wid, None)
+
+    async def ping(self, deadline: float) -> bool:
+        """One health probe; ``False`` on timeout or death."""
+        try:
+            response = await self.request({"op": "ping"}, timeout=deadline)
+        except (WorkerDied, asyncio.TimeoutError):
+            return False
+        return bool(response.get("pong"))
+
+
+@dataclass
+class WorkerSlot:
+    """Supervision state of one shard."""
+
+    shard_id: int
+    worker: Optional[WorkerProcess] = None
+    #: ``starting`` → ``up`` → (``backoff`` → ``up``)* → ``failed``
+    state: str = "starting"
+    restarts: int = 0
+    #: restart timestamps inside the sliding budget window.
+    window: deque = field(default_factory=deque)
+    #: consecutive failed *boots* (drives the exponential backoff; a
+    #: worker that came up healthy resets it).
+    crash_streak: int = 0
+
+
+class Supervisor:
+    """Keeps ``n`` worker slots alive (see module docstring).
+
+    ``on_up(shard_id)`` / ``on_down(shard_id)`` fire on every liveness
+    transition; ``ping_interval``/``ping_deadline`` shape the health
+    probe; ``backoff_base``/``backoff_cap`` the restart delay
+    (``base * 2^crash_streak``, capped); ``restart_budget`` restarts per
+    ``budget_window`` seconds before a slot is declared *failed*."""
+
+    def __init__(
+        self,
+        n: int,
+        config: WorkerConfig,
+        on_up: Callable[[int], None],
+        on_down: Callable[[int], None],
+        ping_interval: float = 0.25,
+        ping_deadline: float = 1.0,
+        boot_deadline: float = 15.0,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        restart_budget: int = 60,
+        budget_window: float = 60.0,
+    ) -> None:
+        if n < 1:
+            raise ValueError(f"fleet needs >= 1 worker, got {n}")
+        self.config = config
+        self.on_up = on_up
+        self.on_down = on_down
+        self.ping_interval = ping_interval
+        self.ping_deadline = ping_deadline
+        self.boot_deadline = boot_deadline
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.restart_budget = restart_budget
+        self.budget_window = budget_window
+        self.slots = [WorkerSlot(i) for i in range(n)]
+        self._tasks: list[asyncio.Task] = []
+        self._closing = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Boot every slot concurrently; returns once each is up (or has
+        already exhausted its budget — at least one must come up)."""
+        first_up = [asyncio.get_running_loop().create_future()
+                    for _ in self.slots]
+        self._tasks = [
+            asyncio.ensure_future(self._slot_loop(slot, first_up[i]))
+            for i, slot in enumerate(self.slots)
+        ]
+        await asyncio.gather(*first_up)
+        if not any(s.state == "up" for s in self.slots):
+            await self.aclose()
+            raise ReproError("fleet failed to boot: no worker came up")
+
+    async def aclose(self) -> None:
+        """Stop supervising, then drain and stop every worker."""
+        self._closing = True
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        await asyncio.gather(*(
+            slot.worker.terminate() for slot in self.slots
+            if slot.worker is not None
+        ), return_exceptions=True)
+
+    # -- supervision ---------------------------------------------------------
+
+    def worker(self, shard_id: int) -> Optional[WorkerProcess]:
+        slot = self.slots[shard_id]
+        if slot.state == "up" and slot.worker is not None and slot.worker.alive:
+            return slot.worker
+        return None
+
+    def _budget_left(self, slot: WorkerSlot) -> bool:
+        now = time.monotonic()
+        while slot.window and now - slot.window[0] > self.budget_window:
+            slot.window.popleft()
+        return len(slot.window) < self.restart_budget
+
+    async def _slot_loop(self, slot: WorkerSlot, first: asyncio.Future) -> None:
+        try:
+            while not self._closing:
+                if not self._budget_left(slot):
+                    slot.state = "failed"
+                    self.on_down(slot.shard_id)
+                    return
+                slot.state = "starting"
+                worker = WorkerProcess(slot.shard_id, self.config)
+                slot.worker = worker
+                try:
+                    await worker.start()
+                    ok = await self._wait_ready(worker)
+                except Exception:  # noqa: BLE001 - spawn failure = boot failure
+                    ok = False
+                if not ok:
+                    worker.kill()
+                    await worker.wait()
+                    slot.crash_streak += 1
+                    slot.window.append(time.monotonic())
+                    await asyncio.sleep(self._backoff(slot))
+                    continue
+                slot.state = "up"
+                born = time.monotonic()
+                self.on_up(slot.shard_id)
+                if not first.done():
+                    first.set_result(None)
+                try:
+                    await self._watch(worker)
+                finally:
+                    # declare death *before* the kill/wait so the router
+                    # stops routing to this shard immediately
+                    slot.state = "backoff"
+                    self.on_down(slot.shard_id)
+                if self._closing:
+                    return
+                # a worker that served healthily for a while earns its
+                # slot a clean slate — chaos kills must not compound into
+                # crash-loop backoff
+                if time.monotonic() - born > 5 * self.ping_interval:
+                    slot.crash_streak = 0
+                else:
+                    slot.crash_streak += 1
+                worker.kill()
+                await worker.wait()
+                slot.restarts += 1
+                slot.window.append(time.monotonic())
+                await asyncio.sleep(self._backoff(slot))
+        finally:
+            if not first.done():
+                first.set_result(None)
+
+    def _backoff(self, slot: WorkerSlot) -> float:
+        return min(self.backoff_cap,
+                   self.backoff_base * (2 ** min(slot.crash_streak, 10)))
+
+    async def _wait_ready(self, worker: WorkerProcess) -> bool:
+        """Boot probe: ping until the worker answers (cold interpreter
+        start is seconds) or the boot deadline passes."""
+        deadline = time.monotonic() + self.boot_deadline
+        while time.monotonic() < deadline and worker.alive:
+            if await worker.ping(min(2.0, self.ping_deadline * 4)):
+                return True
+            await asyncio.sleep(0.05)
+        return False
+
+    async def _watch(self, worker: WorkerProcess) -> None:
+        """Health loop: returns when the worker is declared dead — pipe
+        EOF (fast path) or a ping past its deadline (hang path)."""
+        while worker.alive and not self._closing:
+            interval = asyncio.ensure_future(asyncio.sleep(self.ping_interval))
+            death = asyncio.ensure_future(worker.exited.wait())
+            await asyncio.wait({interval, death},
+                               return_when=asyncio.FIRST_COMPLETED)
+            interval.cancel()
+            death.cancel()
+            if worker.exited.is_set() or self._closing:
+                return
+            if not await worker.ping(self.ping_deadline):
+                return
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "workers": len(self.slots),
+            "up": sum(1 for s in self.slots if s.state == "up"),
+            "failed": sum(1 for s in self.slots if s.state == "failed"),
+            "restarts": sum(s.restarts for s in self.slots),
+            "garbled_frames": sum(
+                s.worker.garbled_frames for s in self.slots
+                if s.worker is not None
+            ),
+            "slots": {
+                str(s.shard_id): {
+                    "state": s.state,
+                    "restarts": s.restarts,
+                    "pid": s.worker.pid if s.worker is not None else None,
+                    "inflight": s.worker.inflight if s.worker is not None else 0,
+                }
+                for s in self.slots
+            },
+        }

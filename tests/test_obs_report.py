@@ -38,9 +38,10 @@ FIXTURE_SNAPSHOT = {
 
 
 class TestDashboard:
-    def test_loads_all_seven_committed_families(self):
+    def test_loads_all_eight_committed_families(self):
         assert sorted(load_baselines(BENCH_DIR)) == [
-            "churn", "online", "replay", "service", "solve", "spider", "tree",
+            "churn", "online", "replay", "service", "shard", "solve",
+            "spider", "tree",
         ]
 
     def test_byte_stable_across_two_builds(self):

@@ -8,7 +8,9 @@ connection consumes the next scripted *behavior*:
 * ``"ok"`` — answer every request line properly;
 * ``"drop"`` — read one request, then close (clean EOF mid-request);
 * ``"stall"`` — read one request, answer nothing (client deadline fires);
-* ``"partial"`` — read one request, emit half a JSON line and close.
+* ``"partial"`` — read one request, emit half a JSON line and close;
+* ``"overloaded"`` — answer every request with a retriable shed error;
+* ``"shed_once"`` — shed the first request, then behave like ``"ok"``.
 """
 
 import asyncio
@@ -70,6 +72,16 @@ class FakeServer:
                         self.wfile.write(b'{"id": "c1", "ok": tr\n')
                         self.wfile.flush()
                         return
+                    if behavior in ("overloaded", "shed_once"):
+                        shed = {"id": request.get("id"), "ok": False,
+                                "error_kind": "overloaded",
+                                "error": "fleet is saturated",
+                                "retriable": True}
+                        self.wfile.write((json.dumps(shed) + "\n").encode())
+                        self.wfile.flush()
+                        if behavior == "shed_once":
+                            behavior = "ok"
+                        continue
                     response = {"id": request.get("id"), "ok": True,
                                 "pong": True, "protocol": 1}
                     self.wfile.write((json.dumps(response) + "\n").encode())
@@ -173,6 +185,62 @@ class TestClientResilience:
             # EOF -> connection error; the retry then fails loudly on the
             # missing reconnect recipe instead of re-sending into the void
             client.request({"op": "ping"}, retries=2)
+
+
+# ---------------------------------------------------------------------------
+# Retry policy: jitter, last-error surfacing, shed-response handling
+# ---------------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_shed_response_retried_on_same_connection(self):
+        with FakeServer(["shed_once"]) as srv:
+            with connect(srv, retries=2) as client:
+                assert client.ping()
+        # an "overloaded" answer means the *server* is healthy — the retry
+        # must re-ask on the same connection, not redial
+        assert srv.connections == 1
+
+    def test_shed_exhausted_returns_last_shed_response(self):
+        with FakeServer(["overloaded"]) as srv:
+            with connect(srv, retries=2) as client:
+                response = client.request({"op": "ping"})
+        assert response["ok"] is False
+        assert response["error_kind"] == "overloaded"
+        assert response["retriable"] is True
+        assert srv.connections == 1
+
+    def test_last_transport_error_surfaced_not_first(self):
+        # attempt 1 hits a clean drop (connection), attempt 2 a stall
+        # (timeout): the raised error must be the *last* failure
+        with FakeServer(["drop", "stall"]) as srv:
+            with connect(srv, retries=1, timeout=0.2) as client:
+                with pytest.raises(ServiceError) as err:
+                    client.ping()
+        assert err.value.kind == "timeout"
+
+    def test_fresh_jitter_drawn_every_attempt(self, monkeypatch):
+        import random
+
+        sleeps = []
+        monkeypatch.setattr("time.sleep", sleeps.append)
+        backoff = 0.01
+        with FakeServer(["drop", "drop", "ok"]) as srv:
+            with connect(srv, retries=2, backoff=backoff) as client:
+                client._rng = random.Random(99)
+                assert client.ping()
+
+        expected_rng = random.Random(99)
+        expected = [
+            expected_rng.uniform(0.0, backoff * (2 ** 0)),
+            expected_rng.uniform(0.0, backoff * (2 ** 1)),
+        ]
+        assert sleeps == expected, (
+            "each retry must draw a fresh full-jitter delay from the "
+            "exponential window, not reuse the first draw"
+        )
+        for attempt, delay in enumerate(sleeps, start=1):
+            assert 0.0 <= delay <= backoff * (2 ** (attempt - 1))
 
 
 # ---------------------------------------------------------------------------

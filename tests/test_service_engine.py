@@ -392,8 +392,9 @@ class TestOversizedRequests:
                     raise ValueError("Separator is not found, and chunk exceed the limit")
                 return b""  # must never be reached before the break
 
-            async def send(response):
-                sent.append(response)
+            async def send(text):
+                # the serving loop hands the transport a serialised line
+                sent.append(json.loads(text))
 
             try:
                 await service.handle_connection(readline, send)

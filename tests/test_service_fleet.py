@@ -1,0 +1,431 @@
+"""The sharded fleet: hash ring, router semantics, supervised workers.
+
+Unit tests drive the :class:`~repro.service.shard.ShardRouter` against
+stub workers (no subprocesses), so every failure-handling branch —
+load shedding, re-dispatch on death, exhaustion — is pinned exactly.
+The end-to-end tests boot a real supervised fleet (worker subprocesses
+over stdio pipes) and exercise the contract live: routing, caching,
+SIGKILL failover, restart, merged fleet stats, and a miniature chaos
+run that must report zero invariant violations.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.io.json_io import problem_to_dict
+from repro.platforms.chain import Chain
+from repro.platforms.generators import random_spider
+from repro.platforms.spider import Spider
+from repro.service.shard import HashRing, ShardRouter
+from repro.service.supervisor import Supervisor, WorkerConfig, WorkerDied
+from repro.solve import Problem, solve
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+def solve_line(problem, rid="t1"):
+    return json.dumps({"id": rid, "op": "solve",
+                       "problem": problem_to_dict(problem)})
+
+
+def spider_problem(seed=1, n=16):
+    return Problem(random_spider(4, 3, seed=seed), "makespan", n=n)
+
+
+# ---------------------------------------------------------------------------
+# Hash ring
+# ---------------------------------------------------------------------------
+
+
+class TestHashRing:
+    def test_preference_covers_all_shards_distinctly(self):
+        ring = HashRing()
+        for shard in range(5):
+            ring.add(shard)
+        pref = ring.preference("some-fingerprint")
+        assert sorted(pref) == [0, 1, 2, 3, 4]
+        assert pref[0] == ring.owner("some-fingerprint")
+
+    def test_routing_is_deterministic(self):
+        a, b = HashRing(), HashRing()
+        for shard in range(4):
+            a.add(shard)
+            b.add(shard)
+        keys = [f"fp{i}" for i in range(200)]
+        assert [a.owner(k) for k in keys] == [b.owner(k) for k in keys]
+
+    def test_remove_moves_only_the_dead_shards_keys(self):
+        ring = HashRing()
+        for shard in range(4):
+            ring.add(shard)
+        keys = [f"fp{i}" for i in range(400)]
+        before = {k: ring.owner(k) for k in keys}
+        ring.remove(2)
+        for k in keys:
+            if before[k] != 2:
+                # bounded rebalancing: a surviving shard keeps its keys
+                assert ring.owner(k) == before[k]
+            else:
+                assert ring.owner(k) != 2
+
+    def test_failover_order_is_the_preference_walk(self):
+        ring = HashRing()
+        for shard in range(4):
+            ring.add(shard)
+        pref = ring.preference("fp")
+        ring.remove(pref[0])
+        assert ring.owner("fp") == pref[1]
+
+    def test_vnodes_spread_load(self):
+        ring = HashRing(vnodes=64)
+        for shard in range(4):
+            ring.add(shard)
+        counts = {s: 0 for s in range(4)}
+        for i in range(2000):
+            counts[ring.owner(f"fp{i}")] += 1
+        # no shard owns more than half the keyspace with 64 vnodes
+        assert max(counts.values()) < 1000
+        assert min(counts.values()) > 100
+
+    def test_empty_ring(self):
+        ring = HashRing()
+        assert ring.preference("fp") == []
+        assert ring.owner("fp") is None
+
+
+# ---------------------------------------------------------------------------
+# Router semantics against stub workers (no subprocesses)
+# ---------------------------------------------------------------------------
+
+
+class StubWorker:
+    def __init__(self, outcome="ok", inflight=0):
+        self.outcome = outcome
+        self.inflight = inflight
+        self.requests = 0
+        self.pid = None
+
+    async def request(self, payload, timeout=None):
+        self.requests += 1
+        if self.outcome == "died":
+            raise WorkerDied("stub died")
+        if self.outcome == "timeout":
+            raise asyncio.TimeoutError()
+        return {"id": payload.get("id"), "ok": True, "stub": True}
+
+
+class StubSupervisor:
+    def __init__(self, workers):
+        self.workers = workers
+        self.slots = list(workers)
+
+    def worker(self, shard_id):
+        return self.workers.get(shard_id)
+
+    def stats(self):
+        return {"workers": len(self.workers), "restarts": 0,
+                "garbled_frames": 0}
+
+
+def stub_router(workers, **kw):
+    router = ShardRouter(len(workers), WorkerConfig(), **kw)
+    router.supervisor = StubSupervisor(workers)
+    for shard_id in workers:
+        router._on_up(shard_id)
+    return router
+
+
+class TestRouterSemantics:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_routes_to_live_worker(self):
+        workers = {0: StubWorker(), 1: StubWorker()}
+        router = stub_router(workers)
+        response = self.run(router.handle_line(solve_line(spider_problem())))
+        assert response["ok"] and response["stub"]
+        assert response["id"] == "t1"
+        assert sum(w.requests for w in workers.values()) == 1
+
+    def test_same_problem_same_shard(self):
+        workers = {i: StubWorker() for i in range(4)}
+        router = stub_router(workers)
+        for rid in ("a", "b", "c"):
+            self.run(router.handle_line(solve_line(spider_problem(), rid)))
+        assert sorted(w.requests for w in workers.values()) == [0, 0, 0, 3]
+
+    def test_saturated_owner_sheds_explicitly(self):
+        workers = {0: StubWorker(inflight=2), 1: StubWorker(inflight=2)}
+        router = stub_router(workers, max_queue=2)
+        response = self.run(router.handle_line(solve_line(spider_problem())))
+        assert response["ok"] is False
+        assert response["error_kind"] == "overloaded"
+        assert response["retriable"] is True
+        assert router.shed == 1
+        assert all(w.requests == 0 for w in workers.values())
+
+    def test_dead_owner_redispatches_to_survivor(self):
+        problem = spider_problem()
+        probe = stub_router({i: StubWorker() for i in range(2)})
+        self.run(probe.handle_line(solve_line(problem)))
+        owner = next(s for s, w in probe.supervisor.workers.items()
+                     if w.requests)
+        workers = {owner: StubWorker("died"), 1 - owner: StubWorker()}
+        router = stub_router(workers)
+        response = self.run(router.handle_line(solve_line(problem)))
+        assert response["ok"] is True
+        assert router.redispatched == 1
+        assert workers[1 - owner].requests == 1
+
+    def test_all_dead_is_explicit_unavailable(self):
+        router = stub_router({i: StubWorker("died") for i in range(3)})
+        response = self.run(router.handle_line(solve_line(spider_problem())))
+        assert response["ok"] is False
+        assert response["error_kind"] == "unavailable"
+        assert response["retriable"] is True
+
+    def test_no_live_shard_is_unavailable(self):
+        router = stub_router({0: StubWorker()})
+        router._on_down(0)
+        router.supervisor.workers.clear()
+        response = self.run(router.handle_line(solve_line(spider_problem())))
+        assert response["error_kind"] == "unavailable"
+
+    def test_worker_timeout_is_retriable(self):
+        router = stub_router({0: StubWorker("timeout")},
+                             request_timeout=0.01)
+        response = self.run(router.handle_line(solve_line(spider_problem())))
+        assert response["error_kind"] == "timeout"
+        assert response["retriable"] is True
+
+    def test_bad_payload_is_bad_request(self):
+        router = stub_router({0: StubWorker()})
+        line = json.dumps({"id": "x", "op": "solve",
+                           "problem": {"nonsense": 1}})
+        response = self.run(router.handle_line(line))
+        assert response["error_kind"] == "bad_request"
+
+    def test_shutdown_refuses_new_solves(self):
+        router = stub_router({0: StubWorker()})
+        router.begin_shutdown()
+        response = self.run(router.handle_line(solve_line(spider_problem())))
+        assert response["error_kind"] == "shutting_down"
+        assert response["retriable"] is True
+
+    def test_ping_is_local(self):
+        router = stub_router({0: StubWorker()})
+        response = self.run(router.handle_line(
+            json.dumps({"id": "p", "op": "ping"})
+        ))
+        assert response["ok"] and response["pong"]
+
+    def test_inject_refused_without_chaos_ops(self):
+        router = stub_router({0: StubWorker()})
+        response = self.run(router.handle_line(
+            json.dumps({"id": "i", "op": "inject", "shard": 0,
+                        "fault": "hang"})
+        ))
+        assert response["ok"] is False
+        assert response["error_kind"] == "bad_request"
+
+
+class TestWorkerConfig:
+    def test_argv_carries_every_option(self):
+        config = WorkerConfig(threads=3, capacity=99, store_path="/tmp/s",
+                              solve_engine="object", engine="event",
+                              verify_rebinds=False, request_timeout=1.5,
+                              chaos_ops=True)
+        argv = config.argv(7)
+        assert argv[:4] == [sys.executable, "-m", "repro", "serve"]
+        for flag, value in (("--workers", "3"), ("--capacity", "99"),
+                            ("--store", "/tmp/s.shard7"),
+                            ("--solve-engine", "object"),
+                            ("--engine", "event"),
+                            ("--request-timeout", "1.5")):
+            assert value == argv[argv.index(flag) + 1]
+        assert "--no-verify-rebinds" in argv
+        assert "--chaos-ops" in argv
+
+    def test_env_makes_repro_importable(self):
+        env = WorkerConfig.env()
+        assert SRC in env["PYTHONPATH"].split(os.pathsep)
+
+
+# ---------------------------------------------------------------------------
+# Real fleet end to end (worker subprocesses)
+# ---------------------------------------------------------------------------
+
+
+class TestFleetEndToEnd:
+    def test_solve_cache_kill_failover_restart_stats(self):
+        async def scenario():
+            router = ShardRouter(2, WorkerConfig(threads=1, capacity=32))
+            await router.start()
+            try:
+                assert sorted(router.live) == [0, 1]
+                problem = spider_problem(seed=3)
+                reference = solve(problem).makespan
+
+                first = await router.handle_line(solve_line(problem, "a"))
+                assert first["ok"] and first["cached"] is False
+                second = await router.handle_line(solve_line(problem, "b"))
+                assert second["ok"] and second["cached"] is True
+                assert first["shard"] == second["shard"]
+                from repro.io.json_io import solution_from_dict
+
+                solution = solution_from_dict(second["solution"])
+                solution.validate()
+                assert solution.makespan == reference
+
+                stats = (await router.handle_line(
+                    json.dumps({"id": "s", "op": "stats"})
+                ))["stats"]
+                assert stats["sharded"] is True
+                assert stats["live_shards"] == [0, 1]
+                assert stats["store"]["hits"] == 1
+                assert stats["supervisor"]["up"] == 2
+                assert "solve" in stats["latency"]
+
+                # SIGKILL the owner: the very next identical request must
+                # still be answered (failover or re-solve — never an error)
+                owner = first["shard"]
+                worker = router.supervisor.worker(owner)
+                os.kill(worker.pid, signal.SIGKILL)
+                third = await router.handle_line(solve_line(problem, "c"))
+                assert third["ok"], third
+
+                deadline = time.monotonic() + 20
+                while len(router.live) < 2 and time.monotonic() < deadline:
+                    await asyncio.sleep(0.05)
+                assert sorted(router.live) == [0, 1], "worker never restarted"
+                assert router.supervisor.stats()["restarts"] >= 1
+            finally:
+                await router.aclose()
+
+        asyncio.run(scenario())
+
+    def test_mini_chaos_run_holds_the_contract(self):
+        from repro.service.chaos import run_chaos
+
+        report = asyncio.run(run_chaos(
+            shards=2, duration_s=2.0, target_kills=3, kill_every=0.3,
+            concurrency=4, pool_size=4, n=12, seed=5,
+        ))
+        assert report["kills"] >= 3
+        assert report["violations"] == 0, report["violation_samples"]
+        assert report["ok_answers"] > 0
+        assert report["requests"] == (
+            report["ok_answers"] + report["retriable_errors"]
+        )
+
+
+# ---------------------------------------------------------------------------
+# Graceful shutdown of the serving process (SIGTERM drain)
+# ---------------------------------------------------------------------------
+
+
+class TestGracefulDrain:
+    def serve_subprocess(self, *extra):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--workers", "1",
+             *extra],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL, env=env, text=True,
+        )
+
+    def test_sigterm_drains_and_exits_zero(self):
+        proc = self.serve_subprocess()
+        try:
+            problem = Problem(Chain([2, 3], [3, 5]), "makespan", n=5)
+            proc.stdin.write(solve_line(problem, "r1") + "\n")
+            proc.stdin.flush()
+            response = json.loads(proc.stdout.readline())
+            assert response["id"] == "r1" and response["ok"]
+
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=15) == 0, (
+                "SIGTERM must drain and exit 0, not die mid-response"
+            )
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.stdin.close()
+            proc.stdout.close()
+
+    def test_sigterm_mid_request_still_answers_it(self):
+        proc = self.serve_subprocess()
+        try:
+            # handshake first: a pong proves the serving loop is live and
+            # its SIGTERM handler installed (a signal during interpreter
+            # startup would hit the default disposition and kill us)
+            proc.stdin.write(json.dumps({"id": "hi", "op": "ping"}) + "\n")
+            proc.stdin.flush()
+            assert json.loads(proc.stdout.readline())["pong"]
+
+            problem = spider_problem(seed=9, n=24)
+            proc.stdin.write(solve_line(problem, "rq") + "\n")
+            proc.stdin.flush()
+            # give the warm loop a beat to *read* the line, then signal
+            # while the solve may still be in flight — the drain contract
+            # says the answer must be flushed before the process exits
+            time.sleep(0.2)
+            proc.send_signal(signal.SIGTERM)
+            line = proc.stdout.readline()
+            assert line, "in-flight request was dropped on SIGTERM"
+            response = json.loads(line)
+            assert response["id"] == "rq" and response["ok"]
+            assert proc.wait(timeout=15) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.stdin.close()
+            proc.stdout.close()
+
+
+# ---------------------------------------------------------------------------
+# Supervisor restart budget
+# ---------------------------------------------------------------------------
+
+
+class TestRestartBudget:
+    def test_crash_loop_exhausts_budget_and_fails_permanently(self):
+        async def scenario():
+            # a worker that can never come up: unknown CLI flag, instant exit
+            config = WorkerConfig(threads=1)
+            broken = WorkerConfig(threads=1)
+            object.__setattr__(broken, "argv",
+                               lambda shard_id: [sys.executable, "-c",
+                                                 "raise SystemExit(3)"])
+            object.__setattr__(broken, "env", config.env)
+            supervisor = Supervisor(
+                1, broken, on_up=lambda s: None, on_down=lambda s: None,
+                boot_deadline=0.2, backoff_base=0.01, backoff_cap=0.02,
+                restart_budget=3, budget_window=60.0,
+            )
+            with pytest.raises(Exception):
+                await supervisor.start()
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if supervisor.stats()["failed"] == 1:
+                    break
+                await asyncio.sleep(0.05)
+            stats = supervisor.stats()
+            assert stats["failed"] == 1, stats
+            assert stats["restarts"] <= 3
+            await supervisor.aclose()
+
+        asyncio.run(scenario())
